@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+One session-scoped :class:`ExperimentRunner` serves every bench so the
+max-frequency baseline runs are computed once and reused; quick mode
+shrinks instruction quotas ~10x relative to the paper-scale runs while
+preserving the qualitative shapes each bench asserts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def quick_runner() -> ExperimentRunner:
+    # Factor 5 keeps runs at ~5-10 epochs: long enough for the online
+    # power fits to settle and the shape assertions to be meaningful,
+    # short enough that the whole bench suite stays ~a minute.
+    return ExperimentRunner(quick=True, quick_factor=5.0)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are minutes-scale; statistical repetition belongs to
+    the micro-benchmarks, not here.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

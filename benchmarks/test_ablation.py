@@ -1,0 +1,26 @@
+"""Ablation bench: design choices hold up (not a paper artefact)."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_design_choices(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("ablation", runner=quick_runner)
+    )
+    rows = {r[0]: r[1:] for r in out.tables["variants"].rows}
+    default = rows["default (binary, repair, 1% noise)"]
+    exhaustive = rows["exhaustive search"]
+    no_repair = rows["no quantization repair"]
+    noisy = rows["noise 5%"]
+
+    # Binary search loses nothing against the exhaustive oracle.
+    assert abs(default[3] - exhaustive[3]) < 0.01  # avg degradation
+    assert abs(default[0] - exhaustive[0]) < 0.01  # mean power/budget
+
+    # Removing the repair pass worsens overshoot.
+    assert no_repair[1] >= default[1]
+
+    # 5x the noise still caps: mean power within 2% of budget.
+    assert noisy[0] < 1.02

@@ -1,0 +1,19 @@
+"""Figure 10: Eql-Freq is conservative on 64-core MIX workloads."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10_eql_freq_conservatism(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig10", runner=quick_runner)
+    )
+    rows = {r[0]: (r[1], r[2], r[3]) for r in out.tables["performance"].rows}
+    fastcap_avg, fastcap_worst, _ = rows["fastcap"]
+    eql_avg, eql_worst, _ = rows["eql-freq"]
+
+    # One global frequency cannot harvest the budget on 64 cores:
+    # Eql-Freq degrades at least as much on average and in the worst case.
+    assert eql_avg >= fastcap_avg - 0.01
+    assert eql_worst >= fastcap_worst - 0.01

@@ -1,0 +1,20 @@
+"""Figure 11: MaxBIPS wins average throughput, loses fairness (4 cores)."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig11_maxbips_outliers(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig11", runner=quick_runner)
+    )
+    rows = {r[0]: (r[1], r[2], r[3]) for r in out.tables["performance"].rows}
+    fc_avg, fc_worst, fc_gap = rows["fastcap"]
+    mb_avg, mb_worst, mb_gap = rows["maxbips"]
+
+    # The paper's trade: MaxBIPS may slightly beat FastCap on average...
+    assert mb_avg <= fc_avg * 1.05
+    # ...but FastCap's fairness clearly wins on the worst application.
+    assert fc_gap < mb_gap
+    assert fc_worst <= mb_worst + 0.02

@@ -1,0 +1,19 @@
+"""Figure 12: capping accuracy across system configurations."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12_power_across_configs(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig12", runner=quick_runner)
+    )
+    rows = out.tables["power"].rows
+    assert len(rows) == 20  # 5 configs x 4 classes
+
+    for config, cls, _workload, max_avg, max_epoch in rows:
+        # Every configuration respects the 60% cap on average.
+        assert max_avg <= 0.63, (config, cls, max_avg)
+        # The hottest single epoch exceeds the average only modestly.
+        assert max_epoch <= max_avg + 0.15, (config, cls)

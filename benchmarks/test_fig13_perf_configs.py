@@ -1,0 +1,22 @@
+"""Figure 13: fairness holds across system configurations."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig13_fairness_across_configs(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig13", runner=quick_runner)
+    )
+    rows = {
+        (r[0], r[1]): (r[2], r[3], r[4])
+        for r in out.tables["performance"].rows
+    }
+    assert len(rows) == 20  # 5 configs x 4 classes
+
+    # Worst stays close to average regardless of core count, OoO mode
+    # or skewed memory controllers.
+    for key, (avg, worst, gap) in rows.items():
+        assert gap < 1.40, (key, gap)
+        assert avg >= 1.0 - 1e-6, key

@@ -1,0 +1,21 @@
+"""Figure 3: FastCap holds 60% of peak on every Table III workload."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_average_power(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig3", runner=quick_runner)
+    )
+    rows = out.tables["power"].rows
+    assert len(rows) == 16
+    for workload, mean_of_peak, max_of_peak, _viol in rows:
+        # Mean power at or below the cap (small tolerance for the
+        # boot transient inside short quick-mode runs).
+        assert mean_of_peak <= 0.63, (workload, mean_of_peak)
+    # At least the ILP/MID/MIX workloads should actually harvest the
+    # budget rather than undershooting it.
+    harvesting = [r for r in rows if not r[0].startswith("MEM")]
+    assert sum(1 for r in harvesting if r[1] > 0.55) >= len(harvesting) - 2

@@ -1,0 +1,24 @@
+"""Figure 4: core/memory power repartitioning over time (MIX3)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig4_breakdown_series(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig4", runner=quick_runner)
+    )
+    cores = np.array(out.series["cores"].ys())
+    memory = np.array(out.series["memory"].ys())
+    total = np.array(out.series["total"].ys())
+    assert len(cores) == len(memory) == len(total) >= 10
+
+    # Components sum below the total (the remainder is the static
+    # "other" draw) and the total hugs the 60% cap.
+    assert np.all(cores + memory < total)
+    assert 0.5 < total.mean() <= 0.62
+    # The breakdown is dynamic: core power actually moves over time.
+    assert cores.max() - cores.min() > 0.005

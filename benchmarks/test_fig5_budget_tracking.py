@@ -1,0 +1,26 @@
+"""Figure 5: MEM3 tracks 40/60/80% budgets; violations are transient."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig5_tracking(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig5", runner=quick_runner)
+    )
+    for budget in (0.40, 0.60, 0.80):
+        series = np.array(out.series[f"B={budget:.0%}"].ys())
+        # Steady state (skip the boot transient): mean at or below the
+        # budget, and never wildly above it.
+        steady = series[3:]
+        assert steady.mean() <= budget * 1.02, budget
+        assert steady.max() <= budget * 1.10, budget
+    # Larger budgets draw more power (strict ordering of the curves).
+    means = [
+        np.array(out.series[f"B={b:.0%}"].ys())[3:].mean()
+        for b in (0.40, 0.60, 0.80)
+    ]
+    assert means[0] < means[1] < means[2]

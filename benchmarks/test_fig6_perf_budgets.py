@@ -1,0 +1,30 @@
+"""Figure 6: per-class avg/worst performance across budgets."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6_class_degradations(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig6", runner=quick_runner)
+    )
+    rows = {
+        (r[0], r[1]): (r[2], r[3], r[4])
+        for r in out.tables["performance"].rows
+    }
+    assert len(rows) == 12  # 3 budgets x 4 classes
+
+    # Fairness: worst stays close to average in every cell.
+    for key, (avg, worst, gap) in rows.items():
+        assert gap < 1.35, key
+        assert worst >= avg - 1e-9, key
+
+    # MEM degrades less than ILP at the same budget (paper's reasoning:
+    # MEM cannot draw the budget anyway).
+    for budget in ("40%", "60%", "80%"):
+        assert rows[(budget, "MEM")][0] <= rows[(budget, "ILP")][0] * 1.05, budget
+
+    # Bigger budgets mean smaller degradations, per class.
+    for cls in ("ILP", "MID", "MEM", "MIX"):
+        assert rows[("80%", cls)][0] <= rows[("40%", cls)][0] + 1e-9, cls

@@ -1,0 +1,25 @@
+"""Figure 7: per-application core-frequency traces at B=80%."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7_core_frequency_traces(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig7", runner=quick_runner)
+    )
+    vortex = np.array(out.series["vortex@ILP1"].ys())
+    swim_mem = np.array(out.series["swim@MEM1"].ys())
+    swim_mix = np.array(out.series["swim@MIX4"].ys())
+    assert len(vortex) == len(swim_mem) == len(swim_mix) >= 10
+
+    # Frequencies live on the 2.2-4.0 GHz ladder.
+    for trace in (vortex, swim_mem, swim_mix):
+        assert trace.min() >= 2.2 - 1e-9
+        assert trace.max() <= 4.0 + 1e-9
+
+    # At an 80% budget the CPU-bound vortex keeps its core fast.
+    assert vortex.mean() > 3.2

@@ -1,0 +1,23 @@
+"""Figure 8: memory-frequency traces — the paper's headline shape."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8_memory_frequency_traces(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig8", runner=quick_runner)
+    )
+    ilp = np.array(out.series["ILP1"].ys())
+    mem = np.array(out.series["MEM1"].ys())
+    mix = np.array(out.series["MIX4"].ys())
+
+    # CPU-bound: memory near the 206 MHz floor (budget goes to cores).
+    assert ilp.mean() < 350.0
+    # Memory-bound: memory at/near the 800 MHz ceiling.
+    assert mem.mean() > 700.0
+    # Mixed: strictly between the two.
+    assert ilp.mean() < mix.mean() < mem.mean() + 1e-9

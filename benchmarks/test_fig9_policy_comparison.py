@@ -1,0 +1,35 @@
+"""Figure 9: FastCap vs CPU-only*, Freq-Par*, Eql-Pwr at B=60%."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_policy_ordering(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("fig9", runner=quick_runner)
+    )
+    rows = {
+        (r[0], r[1]): (r[2], r[3], r[4])
+        for r in out.tables["performance"].rows
+    }
+    assert len(rows) == 16  # 4 policies x 4 classes
+    classes = ("ILP", "MID", "MEM", "MIX")
+
+    # FastCap's average performance at least matches CPU-only overall
+    # (memory DVFS frees budget; on MEM they roughly tie).
+    fc_avg = np.mean([rows[("fastcap", c)][0] for c in classes])
+    co_avg = np.mean([rows[("cpu-only", c)][0] for c in classes])
+    assert fc_avg <= co_avg * 1.02
+
+    # FastCap is the fairest policy on the heterogeneous MIX class.
+    fc_gap = rows[("fastcap", "MIX")][2]
+    assert fc_gap <= rows[("eql-pwr", "MIX")][2] + 1e-9
+    assert fc_gap <= rows[("freq-par", "MIX")][2] + 1e-9
+
+    # Freq-Par / Eql-Pwr produce clearly worse worst-case applications
+    # somewhere (the outlier problem).
+    worst_gaps = [rows[(p, c)][2] for p in ("freq-par", "eql-pwr") for c in classes]
+    assert max(worst_gaps) > fc_gap

@@ -1,0 +1,55 @@
+"""Micro-benchmarks: the per-epoch costs that Table I reasons about.
+
+Unlike the experiment benches (run once), these use pytest-benchmark's
+statistical timing — they measure single decisions/solves, the numbers
+behind the paper's 33.5/64.9/133.5 µs overhead table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import binary_search_sb, exhaustive_sb
+from repro.core.optimizer import solve_degradation
+from repro.queueing.mva import solve_mva
+from repro.units import NS
+
+from tests.conftest import make_network
+from tests.core.conftest import make_inputs
+
+
+def _inputs_for(n_cores: int):
+    rng = np.random.default_rng(7)
+    z = tuple(rng.uniform(10.0, 800.0, size=n_cores))
+    return make_inputs(
+        n_cores=n_cores, z_min_ns=z, budget_w=4.0 * n_cores, static_w=n_cores
+    )
+
+
+@pytest.mark.parametrize("n_cores", [16, 32, 64])
+def test_bench_fastcap_decision(benchmark, n_cores):
+    """One full Algorithm 1 decision (binary search over M=10)."""
+    inputs = _inputs_for(n_cores)
+    decision = benchmark(lambda: binary_search_sb(inputs))
+    assert 0 < decision.d <= 1.0
+
+
+def test_bench_exhaustive_reference(benchmark):
+    """The exhaustive memory search at 16 cores (the oracle path)."""
+    inputs = _inputs_for(16)
+    decision = benchmark(lambda: exhaustive_sb(inputs))
+    assert decision.evaluations == inputs.n_candidates
+
+
+def test_bench_inner_degradation_solve(benchmark):
+    """One D root-solve (the O(N) inner kernel of Algorithm 1)."""
+    inputs = _inputs_for(16)
+    sol = benchmark(lambda: solve_degradation(inputs, 2 * NS))
+    assert 0 < sol.d <= 1.0
+
+
+@pytest.mark.parametrize("n_classes", [16, 64])
+def test_bench_mva_solve(benchmark, n_classes):
+    """The simulator's AMVA fixed point (substrate cost, not paper's)."""
+    net = make_network(n_classes=n_classes, n_banks=32, think_ns=20)
+    sol = benchmark(lambda: solve_mva(net))
+    assert sol.iterations >= 1

@@ -1,0 +1,25 @@
+"""Section IV-B overhead study: decision cost scaling + epoch lengths."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_overhead_scaling_and_epoch_lengths(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("overhead", runner=quick_runner)
+    )
+    costs = {r[0]: r[1] for r in out.tables["decision-cost"].rows}
+
+    # Near-linear growth: 64 cores cost well under 16x the 16-core run
+    # (interpreter constant terms make small N comparatively expensive,
+    # so the honest bound is "clearly sub-quadratic").
+    assert costs[64] < 16 * costs[16]
+    assert costs[64] > costs[16] * 0.8  # and it does grow
+
+    # Epoch-length insensitivity: capping quality holds at 5/10/20 ms.
+    for epoch, mean_of_budget, _overshoot, longest in out.tables[
+        "epoch-length"
+    ].rows:
+        assert mean_of_budget < 1.03, epoch
+        assert longest <= 4, epoch

@@ -1,0 +1,16 @@
+"""Table III: synthetic mixes reproduce the published MPKI/WPKI."""
+
+from repro.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_table3_mix_rates(benchmark, quick_runner):
+    out = run_once(
+        benchmark, lambda: run_experiment("table3", runner=quick_runner)
+    )
+    rows = out.tables["mixes"].rows
+    assert len(rows) == 16
+    for mix, _apps, paper_mpki, model_mpki, paper_wpki, model_wpki in rows:
+        assert abs(model_mpki - paper_mpki) / paper_mpki < 0.02, mix
+        assert abs(model_wpki - paper_wpki) / paper_wpki < 0.15, mix

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Power-oversubscription planning: performance across budget levels.
+
+The paper's motivation: datacenters oversubscribe power delivery, so a
+server must respect whatever budget it is assigned.  This example
+sweeps the budget fraction and prints the resulting power/performance
+frontier for one workload per class — the data a capacity planner needs
+to pick an oversubscription ratio.
+
+Run:  python examples/datacenter_budget_sweep.py
+"""
+
+from repro import FastCapGovernor, MaxFrequencyPolicy, ServerSimulator, table2_config
+from repro.metrics.performance import normalized_degradation
+from repro.metrics.power import summarize_power
+from repro.workloads import get_workload
+
+BUDGETS = (0.40, 0.50, 0.60, 0.70, 0.80, 0.90)
+WORKLOADS = ("ILP1", "MID2", "MEM1", "MIX4")
+QUOTA = 30e6
+
+
+def main() -> None:
+    config = table2_config(16)
+    print(f"16-core server, peak {config.power.peak_power_w:.0f} W; "
+          f"values are avg/worst app slowdown vs uncapped\n")
+    header = f"{'budget':>6s} " + " ".join(f"{w:>13s}" for w in WORKLOADS)
+    print(header)
+    print("-" * len(header))
+
+    baselines = {}
+    for name in WORKLOADS:
+        sim = ServerSimulator(config, get_workload(name), seed=1)
+        baselines[name] = sim.run(
+            MaxFrequencyPolicy(), budget_fraction=1.0, instruction_quota=QUOTA
+        )
+
+    for budget in BUDGETS:
+        cells = []
+        for name in WORKLOADS:
+            sim = ServerSimulator(config, get_workload(name), seed=1)
+            run = sim.run(
+                FastCapGovernor(), budget_fraction=budget, instruction_quota=QUOTA
+            )
+            degr = normalized_degradation(run, baselines[name])
+            power = summarize_power(run)
+            # Guard: capping must actually hold at every level.
+            assert power.mean_of_budget < 1.05, (name, budget)
+            cells.append(f"{degr.mean():5.2f}/{degr.max():5.2f}")
+        print(f"{budget:6.0%} " + " ".join(f"{c:>13s}" for c in cells))
+
+    print(
+        "\nreading: MEM barely degrades until deep budgets (it cannot "
+        "spend the power anyway); ILP pays roughly linearly; the "
+        "avg/worst gap stays small at every level (fairness)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Per-processor power budgets: the paper's §III-B extension.
+
+A 16-core server built as two 8-core sockets.  Beyond the full-system
+cap, each socket's voltage regulator imposes its own limit — the paper
+notes FastCap extends to this by "adding a constraint similar to
+constraint 6 for each processor".  This example runs MIX2 three ways:
+
+1. global budget only;
+2. global budget + generous socket caps (should change nothing);
+3. global budget + one tight socket cap (the tight socket binds and,
+   because fairness keeps one common D, the whole system slows
+   together rather than creating outliers on the starved socket).
+
+Run:  python examples/per_socket_budgets.py
+"""
+
+import numpy as np
+
+from repro import FastCapGovernor, MaxFrequencyPolicy, ServerSimulator, table2_config
+from repro.core import ProcessorGroups
+from repro.metrics.performance import normalized_degradation
+from repro.metrics.power import summarize_power
+from repro.workloads import get_workload
+
+QUOTA = 30e6
+BUDGET = 0.65
+
+
+def run_case(label, config, workload, baseline, groups=None):
+    sim = ServerSimulator(config, workload, seed=3)
+    governor = FastCapGovernor(processor_groups=groups)
+    result = sim.run(governor, budget_fraction=BUDGET, instruction_quota=QUOTA)
+    degr = normalized_degradation(result, baseline)
+    power = summarize_power(result)
+    socket0 = degr[:8].mean()
+    socket1 = degr[8:].mean()
+    print(
+        f"{label:28s} power={power.mean_w:5.1f}W "
+        f"avg={degr.mean():.3f} worst={degr.max():.3f} "
+        f"socket0={socket0:.3f} socket1={socket1:.3f}"
+    )
+    return degr
+
+
+def main() -> None:
+    config = table2_config(16)
+    workload = get_workload("MIX2")
+    baseline = ServerSimulator(config, workload, seed=3).run(
+        MaxFrequencyPolicy(), budget_fraction=1.0, instruction_quota=QUOTA
+    )
+    membership = np.array([0] * 8 + [1] * 8)
+
+    print(f"MIX2, global budget {config.budget_watts(BUDGET):.1f} W, "
+          f"two 8-core sockets\n")
+    run_case("global only", config, workload, baseline)
+    run_case(
+        "loose socket caps (30 W)",
+        config,
+        workload,
+        baseline,
+        groups=ProcessorGroups(membership, np.array([30.0, 30.0])),
+    )
+    run_case(
+        "tight socket 0 (8 W)",
+        config,
+        workload,
+        baseline,
+        groups=ProcessorGroups(membership, np.array([8.0, 30.0])),
+    )
+    print(
+        "\nreading: loose caps reproduce the global-only outcome; the "
+        "tight socket cap slows the whole system together — socket0 vs "
+        "socket1 degradations stay matched (one common fairness level D)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare FastCap with the paper's baseline capping policies.
+
+Reproduces the Fig. 9 story on one workload: run FastCap, CPU-only*,
+Freq-Par* and Eql-Pwr under the same 60% budget and print average/worst
+application degradation plus cap quality for each.  FastCap should show
+the smallest worst-vs-average gap; Freq-Par should show the largest
+power swings.
+
+Run:  python examples/policy_comparison.py [WORKLOAD] [BUDGET]
+"""
+
+import sys
+
+from repro import MaxFrequencyPolicy, ServerSimulator, table2_config
+from repro.metrics.fairness import fairness_gap
+from repro.metrics.performance import normalized_degradation
+from repro.metrics.power import summarize_power
+from repro.policies import make_policy
+from repro.workloads import get_workload
+
+POLICIES = (
+    "fastcap",
+    "cpu-only",
+    "freq-par",
+    "eql-pwr",
+    "eql-freq",
+    "greedy-heap",
+)
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "MIX4"
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 0.60
+    config = table2_config(16)
+    workload = get_workload(workload_name)
+
+    baseline = ServerSimulator(config, workload, seed=1).run(
+        MaxFrequencyPolicy(), budget_fraction=1.0, instruction_quota=50e6
+    )
+
+    print(f"{workload_name} @ {budget:.0%} budget "
+          f"({config.budget_watts(budget):.1f} W of {config.power.peak_power_w:.1f} W peak)\n")
+    header = (
+        f"{'policy':10s} {'avg degr':>9s} {'worst':>7s} {'gap':>6s} "
+        f"{'mean W':>7s} {'max W':>7s} {'viol%':>6s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in POLICIES:
+        sim = ServerSimulator(config, workload, seed=1)
+        run = sim.run(
+            make_policy(name), budget_fraction=budget, instruction_quota=50e6
+        )
+        degr = normalized_degradation(run, baseline)
+        power = summarize_power(run)
+        print(
+            f"{name:10s} {degr.mean():9.3f} {degr.max():7.3f} "
+            f"{fairness_gap(degr):6.3f} {power.mean_w:7.1f} "
+            f"{power.max_epoch_w:7.1f} {power.violation_fraction:6.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: cap a 16-core server at 60% of peak with FastCap.
+
+Builds the paper's Table II system, runs the MIX3 workload under the
+FastCap governor, and prints the power/performance outcome.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FastCapGovernor, MaxFrequencyPolicy, ServerSimulator, table2_config
+from repro.metrics.performance import normalized_degradation
+from repro.metrics.power import summarize_power
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    config = table2_config(n_cores=16)
+    workload = get_workload("MIX3")
+    budget_fraction = 0.60
+
+    # Reference run: everything at maximum frequency (no cap).
+    baseline = ServerSimulator(config, workload, seed=1).run(
+        MaxFrequencyPolicy(), budget_fraction=1.0, instruction_quota=50e6
+    )
+
+    # Capped run under the FastCap governor.
+    capped = ServerSimulator(config, workload, seed=1).run(
+        FastCapGovernor(), budget_fraction=budget_fraction, instruction_quota=50e6
+    )
+
+    power = summarize_power(capped)
+    degradation = normalized_degradation(capped, baseline)
+
+    print(f"workload            : {workload.name} ({' '.join(workload.member_names)})")
+    print(f"budget              : {capped.budget_watts:.1f} W "
+          f"({budget_fraction:.0%} of {capped.peak_power_w:.1f} W peak)")
+    print(f"mean power          : {power.mean_w:.1f} W "
+          f"({power.mean_of_budget:.1%} of budget)")
+    print(f"worst epoch power   : {power.max_epoch_w:.1f} W")
+    print(f"violation epochs    : {power.violation_fraction:.1%} "
+          f"(longest streak {power.longest_violation_epochs})")
+    print(f"avg perf degradation: {degradation.mean():.3f}x")
+    print(f"worst app           : {degradation.max():.3f}x "
+          f"(fairness gap {degradation.max() / degradation.mean():.3f})")
+    print(f"mean decision time  : {capped.mean_decision_time_s() * 1e6:.1f} µs/epoch")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""FastCap reproduction: fair power capping for many-core systems.
+
+A from-scratch Python reproduction of *"FastCap: An Efficient and Fair
+Algorithm for Power Capping in Many-Core Systems"* (Liu, Cox, Deng,
+Draper, Bianchini — ISPASS 2016), including the simulation substrate
+the paper evaluates on.
+
+Quick start::
+
+    from repro import FastCapGovernor, ServerSimulator, table2_config
+    from repro.workloads import get_workload
+
+    config = table2_config(n_cores=16)
+    sim = ServerSimulator(config, get_workload("MIX3"), seed=1)
+    result = sim.run(FastCapGovernor(), budget_fraction=0.6)
+    print(result.mean_power_w(), "W against", result.budget_watts, "W budget")
+
+Package layout:
+
+* :mod:`repro.core` — the FastCap optimizer, Algorithm 1 and governor;
+* :mod:`repro.sim` — the many-core server simulator substrate;
+* :mod:`repro.queueing` — the transfer-blocking queueing network
+  (AMVA solver + discrete-event validator);
+* :mod:`repro.workloads` — SPEC-like synthetic workloads (Table III);
+* :mod:`repro.policies` — FastCap plus the five baseline policies;
+* :mod:`repro.metrics` — performance/power/fairness metrics;
+* :mod:`repro.experiments` — one experiment per paper table/figure.
+"""
+
+from repro.core.governor import FastCapGovernor
+from repro.sim.config import SystemConfig, table2_config
+from repro.sim.server import (
+    FrequencySettings,
+    MaxFrequencyPolicy,
+    RunResult,
+    ServerSimulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FastCapGovernor",
+    "FrequencySettings",
+    "MaxFrequencyPolicy",
+    "RunResult",
+    "ServerSimulator",
+    "SystemConfig",
+    "table2_config",
+    "__version__",
+]

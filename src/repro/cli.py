@@ -1,0 +1,71 @@
+"""Command-line entry point: run paper experiments from a shell.
+
+Examples::
+
+    fastcap-repro list
+    fastcap-repro run fig9 --quick
+    fastcap-repro run table1 --full
+    python -m repro.cli run fig3 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fastcap-repro",
+        description="FastCap (ISPASS 2016) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (e.g. fig9, table1)")
+    mode = run_p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick",
+        action="store_true",
+        default=True,
+        help="CI-scale runs (default)",
+    )
+    mode.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size runs (paper-scale instruction quotas)",
+    )
+    run_p.add_argument(
+        "--csv-dir",
+        metavar="DIR",
+        help="also export the output's tables/series as CSV files",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Import here so `--help` stays fast.
+    from repro.experiments import list_experiments, run_experiment
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    quick = not args.full
+    output = run_experiment(args.experiment, quick=quick)
+    print(output.render())
+    if args.csv_dir:
+        from repro.experiments.export import export_csv
+
+        for path in export_csv(output, args.csv_dir):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

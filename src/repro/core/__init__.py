@@ -1,0 +1,47 @@
+"""FastCap: the paper's contribution.
+
+* :mod:`repro.core.response_time` — the controller-side memory response
+  model R(s_b) ≈ Q (s_m + U s_b) (Eq. 1), with the multi-controller
+  weighted extension;
+* :mod:`repro.core.power_fit` — online refitting of the core power
+  exponents (P_i, α_i) and the memory pair (P_m, β) from the last few
+  distinct-frequency observations (Eqs. 2-3);
+* :mod:`repro.core.optimizer` — the tight-constraint degradation solve
+  (Theorem 1): for a fixed bus transfer time, the common degradation D
+  and every think time z_i in O(N);
+* :mod:`repro.core.algorithm` — Algorithm 1: binary search over the M
+  candidate memory frequencies, O(N log M), plus the exhaustive
+  reference oracle;
+* :mod:`repro.core.governor` — the OS-level glue mapping epoch counters
+  to frequency actuation.
+"""
+
+from repro.core.algorithm import FastCapDecision, binary_search_sb, exhaustive_sb
+from repro.core.governor import FastCapGovernor
+from repro.core.model import FastCapInputs
+from repro.core.optimizer import (
+    DegradationSolution,
+    ProcessorGroups,
+    solve_degradation,
+    solve_degradation_grouped,
+)
+from repro.core.power_fit import FittedPowerModel, OnlinePowerFitter
+from repro.core.reference_solver import continuous_relaxation, solve_nlp
+from repro.core.response_time import ResponseModel
+
+__all__ = [
+    "DegradationSolution",
+    "FastCapDecision",
+    "FastCapGovernor",
+    "FastCapInputs",
+    "FittedPowerModel",
+    "OnlinePowerFitter",
+    "ProcessorGroups",
+    "ResponseModel",
+    "binary_search_sb",
+    "continuous_relaxation",
+    "exhaustive_sb",
+    "solve_degradation",
+    "solve_degradation_grouped",
+    "solve_nlp",
+]

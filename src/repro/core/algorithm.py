@@ -1,0 +1,142 @@
+"""Algorithm 1: the O(N log M) FastCap search.
+
+For each candidate bus transfer time the inner solve
+(:func:`repro.core.optimizer.solve_degradation`) is linear in the
+number of cores; the objective D(s_b) is quasi-concave along the
+ordered candidate list (the problem is convex — Section III-B), so a
+binary search over the M candidates finds the global optimum with
+O(log M) inner solves.
+
+:func:`exhaustive_sb` evaluates every candidate and serves as the
+correctness oracle: property tests assert both searches agree (up to
+plateau ties, which are broken toward slower memory — equal D for less
+power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.model import FastCapInputs
+from repro.core.optimizer import DegradationSolution, solve_degradation
+
+#: Signature of the per-candidate inner solve.  The default is the
+#: global-budget Theorem 1 solve; the per-processor-budget extension
+#: passes a partially applied :func:`solve_degradation_grouped`.
+InnerSolve = Callable[[FastCapInputs, float], DegradationSolution]
+
+#: Two candidates whose D differs by less than this are a plateau tie.
+_D_TIE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FastCapDecision:
+    """Outcome of one epoch's FastCap search."""
+
+    #: Achieved common performance D ∈ (0, 1].
+    d: float
+    #: Chosen candidate index into ``inputs.sb_candidates``.
+    sb_index: int
+    #: Chosen bus transfer time, seconds.
+    s_b: float
+    #: Optimal think times, seconds.
+    z: np.ndarray
+    #: Predicted full-system power, watts.
+    predicted_power_w: float
+    #: False when the budget is infeasible even at the frequency floor.
+    feasible: bool
+    #: Number of inner degradation solves performed (complexity probe).
+    evaluations: int
+
+
+def _better(a: DegradationSolution, b: DegradationSolution, sb_a: float, sb_b: float) -> bool:
+    """True when (a, sb_a) beats (b, sb_b).
+
+    Order: any feasible beats any infeasible; among feasible, higher D
+    wins and plateau ties go to slower memory (same performance, less
+    power); among infeasible, lower power wins (smallest violation).
+    """
+    if a.feasible != b.feasible:
+        return a.feasible
+    if not a.feasible:
+        return a.power_w < b.power_w
+    if abs(a.d - b.d) > _D_TIE_TOL:
+        return a.d > b.d
+    return sb_a > sb_b
+
+
+def exhaustive_sb(
+    inputs: FastCapInputs, inner: InnerSolve = solve_degradation
+) -> FastCapDecision:
+    """Evaluate every memory-frequency candidate (the oracle path)."""
+    best_idx = 0
+    best = inner(inputs, float(inputs.sb_candidates[0]))
+    evaluations = 1
+    for idx in range(1, inputs.n_candidates):
+        s_b = float(inputs.sb_candidates[idx])
+        sol = inner(inputs, s_b)
+        evaluations += 1
+        if _better(sol, best, s_b, float(inputs.sb_candidates[best_idx])):
+            best, best_idx = sol, idx
+    return FastCapDecision(
+        d=best.d,
+        sb_index=best_idx,
+        s_b=float(inputs.sb_candidates[best_idx]),
+        z=best.z,
+        predicted_power_w=best.power_w,
+        feasible=best.feasible,
+        evaluations=evaluations,
+    )
+
+
+def binary_search_sb(
+    inputs: FastCapInputs, inner: InnerSolve = solve_degradation
+) -> FastCapDecision:
+    """Algorithm 1: binary search over the ordered s_b candidates.
+
+    Mirrors the paper's pseudo-code: evaluate the midpoint and its
+    neighbours; move toward the rising side; stop at a local (= global,
+    by quasi-concavity) maximum.
+    """
+    candidates = inputs.sb_candidates
+    m_count = inputs.n_candidates
+    cache: dict = {}
+    evaluations = 0
+
+    def eval_at(idx: int) -> DegradationSolution:
+        nonlocal evaluations
+        if idx not in cache:
+            cache[idx] = inner(inputs, float(candidates[idx]))
+            evaluations += 1
+        return cache[idx]
+
+    left, right = 0, m_count - 1
+    while left != right:
+        mid = (left + right) // 2
+        here = eval_at(mid)
+        # Neighbour D values (clamped at the ends).
+        if mid + 1 <= right:
+            up = eval_at(mid + 1)
+            if _better(up, here, float(candidates[mid + 1]), float(candidates[mid])):
+                left = mid + 1
+                continue
+        if mid - 1 >= left:
+            down = eval_at(mid - 1)
+            if _better(down, here, float(candidates[mid - 1]), float(candidates[mid])):
+                right = mid - 1
+                continue
+        left = right = mid
+
+    best = eval_at(left)
+    return FastCapDecision(
+        d=best.d,
+        sb_index=left,
+        s_b=float(candidates[left]),
+        z=best.z,
+        predicted_power_w=best.power_w,
+        feasible=best.feasible,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,82 @@
+"""FastCap's OS-level governor: counters in, frequencies out.
+
+Implements the operational loop of Section III-C on top of the shared
+measurement plumbing in :mod:`repro.core.policy_base`:
+
+1. read the epoch's counter sample and refresh the online power fits;
+2. assemble :class:`repro.core.model.FastCapInputs`;
+3. run Algorithm 1 (binary search by default; the exhaustive oracle is
+   selectable for validation/ablation);
+4. quantise the continuous optimum onto the DVFS ladders.
+
+With ``memory_mode="max"`` the candidate list collapses to the maximum
+bus frequency, which is exactly the paper's CPU-only* baseline — it
+isolates what memory DVFS contributes.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Optional
+
+from repro.core.algorithm import FastCapDecision, binary_search_sb, exhaustive_sb
+from repro.core.model import FastCapInputs
+from repro.core.optimizer import (
+    ProcessorGroups,
+    solve_degradation,
+    solve_degradation_grouped,
+)
+from repro.core.policy_base import ModelDrivenPolicy
+from repro.errors import ConfigurationError
+from repro.sim.counters import EpochCounters
+from repro.sim.server import FrequencySettings, SystemView
+
+
+class FastCapGovernor(ModelDrivenPolicy):
+    """The FastCap capping policy (paper Algorithm 1, run per epoch).
+
+    ``processor_groups`` enables the §III-B extension: per-processor
+    (socket) budget constraints layered on top of the full-system cap.
+    """
+
+    def __init__(
+        self,
+        search: str = "binary",
+        memory_mode: str = "dvfs",
+        name: Optional[str] = None,
+        processor_groups: Optional[ProcessorGroups] = None,
+    ) -> None:
+        super().__init__()
+        if search not in ("binary", "exhaustive"):
+            raise ConfigurationError(f"unknown search mode {search!r}")
+        if memory_mode not in ("dvfs", "max"):
+            raise ConfigurationError(f"unknown memory mode {memory_mode!r}")
+        self._search = search
+        self.uses_memory_dvfs = memory_mode == "dvfs"
+        self._groups = processor_groups
+        self.name = name or ("fastcap" if self.uses_memory_dvfs else "cpu-only")
+        self.last_decision: Optional[FastCapDecision] = None
+
+    def initialize(self, view: SystemView) -> None:
+        if self._groups is not None and (
+            self._groups.membership.size != view.config.n_cores
+        ):
+            raise ConfigurationError(
+                "processor_groups membership must cover every core"
+            )
+        super().initialize(view)
+        self.last_decision = None
+
+    def decide_from_inputs(
+        self, inputs: FastCapInputs, counters: EpochCounters
+    ) -> FrequencySettings:
+        if self._groups is not None:
+            inner = partial(solve_degradation_grouped, groups=self._groups)
+        else:
+            inner = solve_degradation
+        if self._search == "binary":
+            decision = binary_search_sb(inputs, inner=inner)
+        else:
+            decision = exhaustive_sb(inputs, inner=inner)
+        self.last_decision = decision
+        return self.settings_from_z(inputs, decision.z, decision.sb_index)

@@ -1,0 +1,96 @@
+"""Controller-side system model: the optimizer's complete input.
+
+:class:`FastCapInputs` is the bridge between the measurement layer
+(counters + fitted power models) and the math layer (degradation solve
+and memory-frequency search).  It is a plain value: building it per
+epoch keeps the optimizer pure and trivially testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.power_fit import FittedPowerModel
+from repro.core.response_time import ResponseModel
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class FastCapInputs:
+    """Everything Algorithm 1 needs for one epoch's decision."""
+
+    #: Minimum think time per core (at f_max), seconds — the z̄_i.
+    z_min: np.ndarray
+    #: Maximum think time per core (at f_min), seconds — z̄_i / ratio_min.
+    z_max: np.ndarray
+    #: L2 cache time per miss per core, seconds — the c_i.
+    cache: np.ndarray
+    #: Memory response model R(s_b).
+    response: ResponseModel
+    #: Per-core fitted maximum dynamic power P_i, watts.
+    core_p_max: np.ndarray
+    #: Per-core fitted exponent α_i.
+    core_alpha: np.ndarray
+    #: Fitted memory dynamic power model (P_m, β).
+    memory_model: FittedPowerModel
+    #: Estimated frequency-independent power P_s, watts.
+    static_power_w: float
+    #: Absolute power budget B·P̄, watts.
+    budget_w: float
+    #: Candidate bus transfer times, ascending (= descending bus
+    #: frequency); the M values Algorithm 1 searches.
+    sb_candidates: np.ndarray
+    #: Minimum bus transfer time s̄_b (at maximum bus frequency).
+    sb_min: float
+
+    def __post_init__(self) -> None:
+        n = self.z_min.shape[0]
+        for name in ("z_max", "cache", "core_p_max", "core_alpha"):
+            if getattr(self, name).shape[0] != n:
+                raise ModelError(f"{name} must have one entry per core")
+        if np.any(self.z_min <= 0):
+            raise ModelError("minimum think times must be positive")
+        if np.any(self.z_max < self.z_min):
+            raise ModelError("z_max must dominate z_min")
+        if self.sb_candidates.ndim != 1 or self.sb_candidates.size < 1:
+            raise ModelError("need at least one bus-time candidate")
+        if np.any(np.diff(self.sb_candidates) <= 0):
+            raise ModelError("bus-time candidates must be strictly ascending")
+        if self.sb_min <= 0:
+            raise ModelError("sb_min must be positive")
+
+    @property
+    def n_cores(self) -> int:
+        return int(self.z_min.shape[0])
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.sb_candidates.size)
+
+    # ------------------------------------------------------------------
+    def best_turnaround_s(self) -> np.ndarray:
+        """T̄_i = z̄_i + c_i + R(s̄_b): turnaround at all-max frequencies.
+
+        This is the fairness reference of constraint (5): every core is
+        allowed at most T̄_i / D.
+        """
+        return self.z_min + self.cache + self.response.per_core(self.sb_min)
+
+    def core_dynamic_power_w(self, z: np.ndarray) -> float:
+        """Σ_i P_i (z̄_i / z_i)^α_i — Eq. 2's frequency-dependent sum."""
+        ratios = self.z_min / np.maximum(z, 1e-300)
+        return float(np.sum(self.core_p_max * ratios**self.core_alpha))
+
+    def memory_dynamic_power_w(self, s_b: float) -> float:
+        """P_m (s̄_b / s_b)^β — Eq. 3's frequency-dependent term."""
+        return self.memory_model.power_at(self.sb_min / s_b)
+
+    def total_power_w(self, z: np.ndarray, s_b: float) -> float:
+        """Predicted full-system power for a (z, s_b) operating point."""
+        return (
+            self.core_dynamic_power_w(z)
+            + self.memory_dynamic_power_w(s_b)
+            + self.static_power_w
+        )

@@ -1,0 +1,220 @@
+"""Tight-constraint degradation solve (paper Theorem 1).
+
+For a fixed bus transfer time s_b, Theorem 1 says the optimum makes
+both constraint families equalities: every core runs exactly at
+``turnaround = T̄_i / D`` and the power budget is fully spent.  That
+collapses the optimisation to a one-dimensional root solve in D:
+
+    z_i(D) = clip(T̄_i / D − c_i − R(s_b),  z̄_i,  z_i^max)
+    power(D) = Σ_i P_i (z̄_i/z_i(D))^α_i + P_m (s̄_b/s_b)^β + P_s
+
+``power`` is monotonically non-decreasing in D (faster cores burn
+more), so bisection finds the unique D with power(D) = budget — or the
+boundary cases: budget slack even at D = 1 (run everything at max), or
+budget infeasible even at the frequency floor (pin the floor and report
+the violation).
+
+The clip handles the real-system corner Theorem 1's interior argument
+ignores: a core whose constraint would demand more than f_max (its
+constraint goes slack — it simply runs at max), or less than f_min
+(it runs at min; the budget shortfall is then spread over the rest by
+the root solve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import FastCapInputs
+from repro.errors import ModelError
+
+#: Bisection tolerance on D (relative).
+_D_TOL = 1e-10
+_MAX_BISECTIONS = 200
+
+
+@dataclass(frozen=True)
+class DegradationSolution:
+    """Optimal common degradation for one memory-frequency candidate."""
+
+    #: The performance objective D ∈ (0, 1]; 1/D is the common slowdown.
+    d: float
+    #: Optimal think time per core, seconds (clipped to the DVFS range).
+    z: np.ndarray
+    #: Predicted full-system power at this operating point, watts.
+    power_w: float
+    #: False when even the all-min-frequency floor exceeds the budget.
+    feasible: bool
+
+    def core_frequency_ratios(self, z_min: np.ndarray) -> np.ndarray:
+        """f_i / f_max implied by the solved think times (z̄_i / z_i)."""
+        return z_min / np.maximum(self.z, 1e-300)
+
+
+def _z_of_d(inputs: FastCapInputs, d: float, r: np.ndarray, t_bar: np.ndarray) -> np.ndarray:
+    """Think times implied by a common degradation D (with DVFS clips)."""
+    raw = t_bar / d - inputs.cache - r
+    return np.clip(raw, inputs.z_min, inputs.z_max)
+
+
+def _achieved_d(
+    inputs: FastCapInputs, z: np.ndarray, r: np.ndarray, t_bar: np.ndarray
+) -> float:
+    """The objective actually attained by clipped think times.
+
+    With DVFS-range clipping the target ``turnaround = T̄_i / D`` is not
+    always reachable — a core already at f_max cannot compensate for a
+    slower memory.  The objective value of constraint (5) is therefore
+    ``min_i T̄_i / (z_i + c_i + R_i)``, which is what candidate
+    comparison across memory frequencies must use.
+    """
+    return float(np.min(t_bar / (z + inputs.cache + r)))
+
+
+def solve_degradation(inputs: FastCapInputs, s_b: float) -> DegradationSolution:
+    """Solve line 6 of Algorithm 1: optimal D for one s_b candidate."""
+    r = inputs.response.per_core(s_b)
+    t_bar = inputs.best_turnaround_s()
+    mem_power = inputs.memory_dynamic_power_w(s_b)
+    available = inputs.budget_w - inputs.static_power_w - mem_power
+
+    def cpu_power(d: float) -> float:
+        return inputs.core_dynamic_power_w(_z_of_d(inputs, d, r, t_bar))
+
+    def finish(d_instrument: float, feasible: bool) -> DegradationSolution:
+        z = _z_of_d(inputs, d_instrument, r, t_bar)
+        return DegradationSolution(
+            d=_achieved_d(inputs, z, r, t_bar),
+            z=z,
+            power_w=cpu_power(d_instrument) + mem_power + inputs.static_power_w,
+            feasible=feasible,
+        )
+
+    # Degradation floor: even at D -> 0 think times clip at z_max, so
+    # the meaningful lower end is where every core sits at its floor.
+    t_floor = inputs.z_max + inputs.cache + r
+    d_floor = float(np.min(t_bar / t_floor))
+    d_floor = min(max(d_floor, 1e-9), 1.0)
+
+    if cpu_power(d_floor) > available:
+        # Budget infeasible at this memory frequency: pin the floor.
+        return finish(d_floor, feasible=False)
+
+    if cpu_power(1.0) <= available:
+        # Budget slack at full speed: no degradation needed.
+        return finish(1.0, feasible=True)
+
+    lo, hi = d_floor, 1.0
+    for _ in range(_MAX_BISECTIONS):
+        mid = 0.5 * (lo + hi)
+        if cpu_power(mid) > available:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= _D_TOL * hi:
+            break
+    return finish(lo, feasible=True)  # largest D within budget
+
+
+@dataclass(frozen=True)
+class ProcessorGroups:
+    """Per-processor (socket) budget constraints — the paper's §III-B
+    extension: "adding a constraint similar to constraint 6 for each
+    processor".
+
+    ``membership[i]`` is the socket index of core i;
+    ``budgets_w[g]`` caps socket g's frequency-dependent core power
+    (each socket's voltage-regulator/thermal limit).  The global
+    full-system budget of the base problem still applies on top.
+    """
+
+    membership: np.ndarray
+    budgets_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.membership.ndim != 1:
+            raise ModelError("membership must be one-dimensional")
+        if self.budgets_w.ndim != 1:
+            raise ModelError("budgets must be one-dimensional")
+        if self.membership.size and (
+            self.membership.min() < 0
+            or self.membership.max() >= self.budgets_w.size
+        ):
+            raise ModelError(
+                "membership indexes a socket without a budget"
+            )
+        if np.any(self.budgets_w <= 0):
+            raise ModelError("socket budgets must be positive")
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.budgets_w.size)
+
+    def group_power(self, per_core_power: np.ndarray) -> np.ndarray:
+        """Sum per-core powers into per-socket totals."""
+        return np.bincount(
+            self.membership, weights=per_core_power, minlength=self.n_groups
+        )
+
+
+def solve_degradation_grouped(
+    inputs: FastCapInputs,
+    s_b: float,
+    groups: ProcessorGroups,
+) -> DegradationSolution:
+    """Degradation solve with per-processor budgets layered on top.
+
+    The feasibility predicate gains one inequality per socket; the
+    objective keeps the single fairness level D, so the tightest socket
+    binds and the whole system degrades together (fairness across
+    sockets, exactly like fairness across cores).  Power is still
+    monotone in D, so the same bisection applies.
+    """
+    r = inputs.response.per_core(s_b)
+    t_bar = inputs.best_turnaround_s()
+    mem_power = inputs.memory_dynamic_power_w(s_b)
+    available = inputs.budget_w - inputs.static_power_w - mem_power
+
+    def per_core_power(d: float) -> np.ndarray:
+        z = _z_of_d(inputs, d, r, t_bar)
+        ratios = inputs.z_min / np.maximum(z, 1e-300)
+        return inputs.core_p_max * ratios**inputs.core_alpha
+
+    def within_budgets(d: float) -> bool:
+        powers = per_core_power(d)
+        if float(powers.sum()) > available:
+            return False
+        return bool(np.all(groups.group_power(powers) <= groups.budgets_w))
+
+    def finish(d_instrument: float, feasible: bool) -> DegradationSolution:
+        z = _z_of_d(inputs, d_instrument, r, t_bar)
+        return DegradationSolution(
+            d=_achieved_d(inputs, z, r, t_bar),
+            z=z,
+            power_w=float(per_core_power(d_instrument).sum())
+            + mem_power
+            + inputs.static_power_w,
+            feasible=feasible,
+        )
+
+    t_floor = inputs.z_max + inputs.cache + r
+    d_floor = float(np.min(t_bar / t_floor))
+    d_floor = min(max(d_floor, 1e-9), 1.0)
+
+    if not within_budgets(d_floor):
+        return finish(d_floor, feasible=False)
+    if within_budgets(1.0):
+        return finish(1.0, feasible=True)
+
+    lo, hi = d_floor, 1.0
+    for _ in range(_MAX_BISECTIONS):
+        mid = 0.5 * (lo + hi)
+        if within_budgets(mid):
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= _D_TOL * hi:
+            break
+    return finish(lo, feasible=True)

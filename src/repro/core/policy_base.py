@@ -1,0 +1,205 @@
+"""Shared measurement/model plumbing for all model-driven policies.
+
+FastCap and the baseline policies of Section IV-B (Eql-Pwr, Eql-Freq,
+MaxBIPS, CPU-only) all consume the same counter-derived quantities:
+minimum think times (Eq. 9), the R(s_b) response model (Eq. 1), and the
+online-fitted power laws (Eqs. 2-3).  The paper explicitly extends the
+baselines with FastCap's memory-power machinery to make the comparison
+fair; centralising the plumbing here is the code version of that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import FastCapInputs
+from repro.core.power_fit import OnlinePowerFitter
+from repro.core.response_time import ResponseModel
+from repro.sim.counters import EpochCounters
+from repro.sim.server import FrequencySettings, SystemView
+
+#: Prior exponent for core power before any fit data exists (paper:
+#: "typically between 2 and 3").
+DEFAULT_CORE_ALPHA = 2.5
+#: Prior exponent for memory power ("in practice ... close to 1").
+DEFAULT_MEMORY_BETA = 1.0
+
+
+class ModelDrivenPolicy:
+    """Base class: owns the power fitters and builds optimizer inputs.
+
+    Subclasses implement :meth:`decide_from_inputs`; the framework-side
+    :meth:`decide` handles fit updates and input assembly.
+    """
+
+    name = "model-driven"
+
+    def __init__(self) -> None:
+        self._view: Optional[SystemView] = None
+        self._core_fitters: List[OnlinePowerFitter] = []
+        self._memory_fitter: Optional[OnlinePowerFitter] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def view(self) -> SystemView:
+        assert self._view is not None, "initialize() must run first"
+        return self._view
+
+    def initialize(self, view: SystemView) -> None:
+        self._view = view
+        cfg = view.config
+        headroom = max(view.budget_watts - view.total_static_estimate_w, 1.0)
+        prior_core = max(headroom / (2.0 * cfg.n_cores), 0.1)
+        self._core_fitters = [
+            OnlinePowerFitter(prior_core, DEFAULT_CORE_ALPHA)
+            for _ in range(cfg.n_cores)
+        ]
+        self._memory_fitter = OnlinePowerFitter(
+            max(headroom / 4.0, 0.1),
+            DEFAULT_MEMORY_BETA,
+            alpha_bounds=(0.3, 2.5),
+        )
+
+    # ------------------------------------------------------------------
+    def _update_fits(self, counters: EpochCounters) -> None:
+        view = self.view
+        cfg = view.config
+        f_max = cfg.core_dvfs.f_max_hz
+        for fitter, core in zip(self._core_fitters, counters.cores):
+            ratio = core.frequency_hz / f_max
+            dynamic = core.power_w - view.core_static_estimate_w
+            fitter.observe(ratio, dynamic)
+        mem_ratio = counters.bus_frequency_hz / cfg.mem_dvfs.f_max_hz
+        mem_dynamic = counters.memory_power_w - view.memory_static_estimate_w
+        assert self._memory_fitter is not None
+        self._memory_fitter.observe(mem_ratio, mem_dynamic)
+
+    def build_inputs(
+        self, counters: EpochCounters, memory_dvfs: bool = True
+    ) -> FastCapInputs:
+        """Assemble the shared model inputs from one epoch's counters."""
+        view = self.view
+        cfg = view.config
+        f_max = cfg.core_dvfs.f_max_hz
+        ratio_min = cfg.core_dvfs.f_min_hz / f_max
+
+        z_min = np.maximum(
+            np.array([core.min_think_time_s(f_max) for core in counters.cores]),
+            1e-12,
+        )
+        cache = np.array([core.cache_time_s for core in counters.cores])
+        response = ResponseModel.from_counters(counters)
+
+        core_models = [f.current() for f in self._core_fitters]
+        assert self._memory_fitter is not None
+        memory_model = self._memory_fitter.current()
+
+        if memory_dvfs:
+            sb_candidates = np.array(view.bus_transfer_candidates_s())
+        else:
+            sb_candidates = np.array([cfg.min_bus_transfer_s])
+
+        return FastCapInputs(
+            z_min=z_min,
+            z_max=z_min / ratio_min,
+            cache=cache,
+            response=response,
+            core_p_max=np.array([m.p_max_w for m in core_models]),
+            core_alpha=np.array([m.alpha for m in core_models]),
+            memory_model=memory_model,
+            static_power_w=view.total_static_estimate_w,
+            budget_w=view.budget_watts,
+            sb_candidates=sb_candidates,
+            sb_min=cfg.min_bus_transfer_s,
+        )
+
+    # ------------------------------------------------------------------
+    def decide(self, counters: EpochCounters) -> FrequencySettings:
+        self._update_fits(counters)
+        inputs = self.build_inputs(counters, memory_dvfs=self.uses_memory_dvfs)
+        return self.decide_from_inputs(inputs, counters)
+
+    # Hooks ------------------------------------------------------------
+    uses_memory_dvfs = True
+
+    def decide_from_inputs(
+        self, inputs: FastCapInputs, counters: EpochCounters
+    ) -> FrequencySettings:
+        raise NotImplementedError
+
+    # Shared actuation helpers ------------------------------------------
+    def settings_from_z(
+        self,
+        inputs: FastCapInputs,
+        z: np.ndarray,
+        sb_index: int,
+        repair_quantization: bool = True,
+    ) -> FrequencySettings:
+        """Map solved think times + candidate index to ladder settings.
+
+        Nearest-level quantization can round several cores *up*, which
+        turns a budget-tight continuous optimum into a persistent small
+        overshoot.  The repair pass greedily demotes the cores whose
+        quantized frequency exceeds their continuous target the most
+        until the predicted power fits the budget again (skipped when
+        the continuous solve already had slack).
+        """
+        cfg = self.view.config
+        ladder = cfg.core_dvfs
+        ratio_min = ladder.f_min_hz / ladder.f_max_hz
+        target = np.clip(
+            inputs.z_min / np.maximum(z, 1e-300), ratio_min, 1.0
+        )
+        levels = np.array(
+            [ladder.nearest_level(r * ladder.f_max_hz) for r in target]
+        )
+        ladder_ratios = np.array(
+            [f / ladder.f_max_hz for f in ladder.frequencies_hz]
+        )
+
+        if repair_quantization:
+            s_b = float(inputs.sb_candidates[sb_index])
+            mem_power = inputs.memory_dynamic_power_w(s_b)
+            # Per-core power at every ladder level, computed once; the
+            # demotion loop then runs on cheap scalar updates.
+            level_power = (
+                inputs.core_p_max[:, None]
+                * ladder_ratios[None, :] ** inputs.core_alpha[:, None]
+            )
+            cpu_power = float(level_power[np.arange(inputs.n_cores), levels].sum())
+            available = inputs.budget_w - mem_power - inputs.static_power_w
+            overshoot = ladder_ratios[levels] - target
+            overshoot[levels == 0] = -np.inf  # already at the floor
+            guard = len(ladder_ratios) * inputs.n_cores
+            while cpu_power > available and guard > 0:
+                worst = int(np.argmax(overshoot))
+                if overshoot[worst] == -np.inf:
+                    break  # everything at the floor: smallest violation
+                lvl = int(levels[worst])
+                cpu_power += float(
+                    level_power[worst, lvl - 1] - level_power[worst, lvl]
+                )
+                levels[worst] = lvl - 1
+                if lvl - 1 == 0:
+                    overshoot[worst] = -np.inf
+                else:
+                    overshoot[worst] = ladder_ratios[lvl - 1] - target[worst]
+                guard -= 1
+
+        core_freqs = tuple(
+            ladder.frequencies_hz[int(lvl)] for lvl in levels
+        )
+        return FrequencySettings(core_freqs, self.bus_freq_of_index(sb_index))
+
+    def bus_freq_of_index(self, sb_index: int) -> float:
+        """Candidate index (ascending s_b) to bus frequency.
+
+        The candidate list ascends in transfer time, i.e. descends in
+        frequency: index 0 is the maximum bus frequency.
+        """
+        ladder = self.view.config.mem_dvfs.frequencies_hz
+        if not self.uses_memory_dvfs:
+            return ladder[-1]
+        return ladder[len(ladder) - 1 - sb_index]

@@ -1,0 +1,130 @@
+"""Online power-model fitting (paper Eqs. 2-3 and Section III-C).
+
+The governor models each core's frequency-dependent power as
+``P_i (f/f_max)^α_i`` and the memory's as ``P_m (f_bus/f_bus,max)^β``.
+It "keeps data about the last three frequencies it has seen, and
+periodically recomputes these parameters" — this module implements
+exactly that: a small history of (frequency ratio, measured dynamic
+power) points per component, refit by log-log least squares whenever a
+new observation arrives, with exponents clamped to a physically
+plausible band and sensible single-point fallbacks for the first
+epochs after boot.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class FittedPowerModel:
+    """One component's fitted frequency-power law."""
+
+    #: Power at the maximum frequency (ratio = 1), watts.
+    p_max_w: float
+    #: Fitted exponent (α for cores, β for memory).
+    alpha: float
+
+    def power_at(self, ratio: float) -> float:
+        """Predicted dynamic power at a frequency ratio in (0, 1]."""
+        if ratio <= 0:
+            raise ModelError(f"frequency ratio must be positive, got {ratio}")
+        return self.p_max_w * ratio**self.alpha
+
+
+class OnlinePowerFitter:
+    """Rolling-history estimator for one component's (P, α) pair.
+
+    Keeps the most recent measurement at each of the last
+    ``history`` *distinct* frequency ratios.  With two or more distinct
+    ratios the exponent comes from a log-log least-squares fit; with
+    one, the default exponent is assumed and P is back-solved; with
+    none, the prior (default P, default α) is used.
+    """
+
+    def __init__(
+        self,
+        default_p_max_w: float,
+        default_alpha: float,
+        history: int = 3,
+        alpha_bounds: Tuple[float, float] = (0.5, 3.5),
+    ) -> None:
+        if default_p_max_w <= 0:
+            raise ModelError("default P must be positive")
+        if history < 2:
+            raise ModelError("history must keep at least two points")
+        lo, hi = alpha_bounds
+        if not lo < hi:
+            raise ModelError("alpha bounds must be ordered")
+        self._default_p = default_p_max_w
+        self._default_alpha = default_alpha
+        self._history = history
+        self._alpha_lo = lo
+        self._alpha_hi = hi
+        #: ratio (rounded key) -> (ratio, power); insertion-ordered so
+        #: the oldest distinct frequency falls off first.
+        self._points: "OrderedDict[float, Tuple[float, float]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def observe(self, ratio: float, dynamic_power_w: float) -> None:
+        """Record one (frequency ratio, measured dynamic power) sample.
+
+        Non-positive power readings (possible when the static estimate
+        over-subtracts at idle) are floored to a small positive value so
+        the log-space fit stays defined.
+        """
+        if not 0.0 < ratio <= 1.0 + 1e-9:
+            raise ModelError(f"ratio {ratio} outside (0, 1]")
+        power = max(dynamic_power_w, 1e-3)
+        key = round(ratio, 6)
+        if key in self._points:
+            self._points.pop(key)
+        self._points[key] = (ratio, power)
+        while len(self._points) > self._history:
+            self._points.popitem(last=False)
+
+    @property
+    def n_points(self) -> int:
+        return len(self._points)
+
+    # ------------------------------------------------------------------
+    def current(self) -> FittedPowerModel:
+        """Best current model given the observation history."""
+        points = list(self._points.values())
+        if not points:
+            return FittedPowerModel(self._default_p, self._default_alpha)
+        if len(points) == 1:
+            ratio, power = points[0]
+            alpha = self._default_alpha
+            p_max = power / ratio**alpha
+            return FittedPowerModel(p_max, alpha)
+
+        xs = [math.log(r) for r, _ in points]
+        ys = [math.log(p) for _, p in points]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        den = sum((x - mean_x) ** 2 for x in xs)
+        if den < 1e-12:  # ratios too close together to identify alpha
+            ratio, power = points[-1]
+            alpha = self._default_alpha
+            return FittedPowerModel(power / ratio**alpha, alpha)
+        num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        alpha = num / den
+        alpha = min(max(alpha, self._alpha_lo), self._alpha_hi)
+        # Anchor P on the *newest* observation rather than the
+        # regression mean: the model is then exact at the operating
+        # point that is currently running, so steady-state power
+        # predictions are unbiased; the history only sets the slope
+        # used to extrapolate to other frequencies.
+        log_p = ys[-1] - alpha * xs[-1]
+        return FittedPowerModel(math.exp(log_p), alpha)
+
+    def reset(self) -> None:
+        """Drop all history (used when the workload visibly changes)."""
+        self._points.clear()

@@ -1,0 +1,65 @@
+"""Controller-side memory response-time model (paper Eq. 1).
+
+``R(s_b) ≈ Q (s_m + U s_b)`` per memory controller, with Q, U and s_m
+read from performance counters each epoch.  Cores mix controller
+responses by their measured visit probabilities (the multi-controller
+extension of Section IV-B): ``R_i(s_b) = Σ_k p_{i,k} Q_k (s_m,k + U_k s_b)``.
+
+FastCap treats Q and U as constants within one decision — the same
+first-order approximation the paper makes — so R is affine in s_b,
+which is what makes the per-candidate solve cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.sim.counters import EpochCounters
+
+
+@dataclass(frozen=True)
+class ResponseModel:
+    """Affine-in-s_b memory response model for all cores."""
+
+    #: Per-controller queue counter Q (includes the arriving request).
+    q: np.ndarray
+    #: Per-controller bus backlog counter U (includes the departer).
+    u: np.ndarray
+    #: Per-controller measured bank service time s_m, seconds.
+    s_m: np.ndarray
+    #: (n_cores, n_controllers) visit probabilities.
+    visits: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.q.shape != self.u.shape or self.q.shape != self.s_m.shape:
+            raise ModelError("Q, U and s_m must have one entry per controller")
+        if self.visits.ndim != 2 or self.visits.shape[1] != self.q.shape[0]:
+            raise ModelError(
+                "visit matrix must be (n_cores, n_controllers)"
+            )
+
+    @classmethod
+    def from_counters(cls, counters: EpochCounters) -> "ResponseModel":
+        """Build the model from one epoch's counter sample."""
+        q = np.array([c.q for c in counters.controllers])
+        u = np.array([c.u for c in counters.controllers])
+        s_m = np.array([c.bank_service_s for c in counters.controllers])
+        visits = np.array([core.controller_visits for core in counters.cores])
+        return cls(q=q, u=u, s_m=s_m, visits=visits)
+
+    def per_controller(self, bus_transfer_s: float) -> np.ndarray:
+        """R_k(s_b) for every controller."""
+        if bus_transfer_s <= 0:
+            raise ModelError("bus transfer time must be positive")
+        return self.q * (self.s_m + self.u * bus_transfer_s)
+
+    def per_core(self, bus_transfer_s: float) -> np.ndarray:
+        """Visit-weighted R_i(s_b) for every core."""
+        return self.visits @ self.per_controller(bus_transfer_s)
+
+    def sensitivity_per_core(self) -> np.ndarray:
+        """dR_i/ds_b — constant because the model is affine in s_b."""
+        return self.visits @ (self.q * self.u)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the FastCap reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A system/workload configuration is inconsistent or out of range."""
+
+
+class ModelError(ReproError):
+    """A performance or power model received inputs outside its domain."""
+
+
+class ConvergenceError(ModelError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class InfeasibleBudgetError(ReproError):
+    """The power budget cannot be met even at minimum frequencies.
+
+    Carries the floor power so callers can report by how much the budget
+    is violated when the system is pinned at its lowest-power operating
+    point.
+    """
+
+    def __init__(self, budget_watts: float, floor_watts: float) -> None:
+        self.budget_watts = float(budget_watts)
+        self.floor_watts = float(floor_watts)
+        super().__init__(
+            f"power budget {budget_watts:.2f} W is below the "
+            f"minimum-frequency floor {floor_watts:.2f} W"
+        )
+
+
+class WorkloadError(ReproError):
+    """A workload definition is malformed (unknown app, bad mix size...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment was misconfigured."""

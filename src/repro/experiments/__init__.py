@@ -1,0 +1,51 @@
+"""Experiment harness: one module per paper table/figure.
+
+Usage::
+
+    from repro.experiments import run_experiment, list_experiments
+    output = run_experiment("fig9", quick=True)
+    print(output.render())
+
+Every experiment returns an :class:`repro.experiments.report.ExperimentOutput`
+carrying the same rows/series the paper's artefact shows, plus notes on
+the expected shape.  ``quick=True`` shrinks instruction quotas and
+epoch counts to CI scale; EXPERIMENTS.md records full-size results.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.report import ExperimentOutput, Series, Table
+from repro.experiments.runner import ExperimentRunner, RunSpec
+
+# Importing the experiment modules registers them.
+from repro.experiments import (  # noqa: E402,F401  (registration imports)
+    ablation,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    overhead,
+    table1,
+    table3,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "ExperimentRunner",
+    "RunSpec",
+    "Series",
+    "Table",
+    "list_experiments",
+    "run_experiment",
+]

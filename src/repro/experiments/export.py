@@ -1,0 +1,58 @@
+"""Export experiment outputs to CSV files (for external plotting).
+
+``python -m repro.cli run fig9 --csv-dir out/`` writes one CSV per
+table and per series of the experiment's output; this module holds the
+writers so they are usable programmatically too.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List
+
+from repro.errors import ExperimentError
+from repro.experiments.report import ExperimentOutput
+
+
+def _safe_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+
+
+def export_csv(output: ExperimentOutput, directory: str) -> List[str]:
+    """Write every table/series of ``output`` as CSV under ``directory``.
+
+    Returns the list of files written.  Table cells are written as
+    repr-faithful strings; series become two-column (x, y) files with
+    the axis labels as header.
+    """
+    if not output.tables and not output.series:
+        raise ExperimentError(
+            f"experiment {output.experiment_id!r} produced nothing to export"
+        )
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    for name, table in output.tables.items():
+        path = os.path.join(
+            directory, f"{output.experiment_id}_{_safe_name(name)}.csv"
+        )
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.headers)
+            for row in table.rows:
+                writer.writerow(row)
+        written.append(path)
+
+    for name, series in output.series.items():
+        path = os.path.join(
+            directory, f"{output.experiment_id}_{_safe_name(name)}.csv"
+        )
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([series.x_label, series.y_label])
+            for x, y in series.points:
+                writer.writerow([x, y])
+        written.append(path)
+
+    return written

@@ -1,0 +1,50 @@
+"""Figure 11: FastCap vs MaxBIPS on 4 cores, MIX workloads, B = 60%.
+
+Expected shape: MaxBIPS matches or slightly beats FastCap on *average*
+performance (it maximises raw throughput) but is much worse on *worst*
+application performance — it starves power-inefficient applications,
+the outlier problem FastCap's fairness constraint prevents.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.report import ExperimentOutput, Table
+from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.metrics.performance import summarize_degradation
+from repro.workloads import MIX_CLASSES, WorkloadClass
+
+BUDGET = 0.60
+N_CORES = 4
+POLICIES = ("fastcap", "maxbips")
+
+
+@register("fig11", "FastCap vs MaxBIPS on 4-core MIX workloads (B=60%)")
+def run(runner: ExperimentRunner) -> ExperimentOutput:
+    rows = []
+    for policy in POLICIES:
+        runs, bases = [], []
+        for workload in MIX_CLASSES[WorkloadClass.MIX]:
+            spec = RunSpec(
+                workload=workload,
+                policy=policy,
+                budget_fraction=BUDGET,
+                n_cores=N_CORES,
+            )
+            run_result, base = runner.run_with_baseline(spec)
+            runs.append(run_result)
+            bases.append(base)
+        summary = summarize_degradation(runs, bases)
+        rows.append((policy, summary.average, summary.worst, summary.outlier_gap))
+    out = ExperimentOutput(
+        "fig11", "FastCap vs MaxBIPS on 4-core MIX workloads (B=60%)"
+    )
+    out.tables["performance"] = Table(
+        headers=("policy", "avg degradation", "worst degradation", "gap"),
+        rows=tuple(rows),
+    )
+    out.notes.append(
+        "expected shape: maxbips average <= fastcap average, but "
+        "maxbips worst >> fastcap worst (fairness outliers)"
+    )
+    return out

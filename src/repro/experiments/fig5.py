@@ -1,0 +1,48 @@
+"""Figure 5: power tracking at several budgets, MEM3 over time.
+
+Expected shape: power stays near each budget; violations (phase
+changes) are corrected within a couple of epochs (~10 ms); under the
+largest budget, MEM3 sits *below* the cap because a memory-bound
+workload cannot draw that much power even at maximum frequencies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.report import ExperimentOutput, series_from_arrays
+from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.metrics.power import summarize_power
+
+BUDGETS = (0.40, 0.60, 0.80)
+EPOCHS = 120
+
+
+@register("fig5", "Power vs time under several budgets (MEM3)")
+def run(runner: ExperimentRunner) -> ExperimentOutput:
+    out = ExperimentOutput("fig5", "Power vs time under several budgets (MEM3)")
+    for budget in BUDGETS:
+        spec = RunSpec(
+            workload="MEM3",
+            policy="fastcap",
+            budget_fraction=budget,
+            instruction_quota=None,
+            max_epochs=EPOCHS,
+        )
+        result = runner.run(spec)
+        peak = result.peak_power_w
+        epochs = [float(e.index) for e in result.epochs]
+        out.series[f"B={budget:.0%}"] = series_from_arrays(
+            "epoch", "power / peak", epochs,
+            [e.total_power_w / peak for e in result.epochs],
+        )
+        stats = summarize_power(result)
+        out.notes.append(
+            f"B={budget:.0%}: mean/peak={stats.mean_of_peak:.3f}, "
+            f"longest violation streak={stats.longest_violation_epochs} epochs"
+        )
+    out.notes.append(
+        "expected shape: tracks each budget; corrections within ~2 "
+        "epochs (10 ms); at B=80% the series sits below the cap "
+        "(memory-bound workloads cannot draw 80% of peak)"
+    )
+    return out

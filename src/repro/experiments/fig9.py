@@ -1,0 +1,67 @@
+"""Figure 9: FastCap vs CPU-only*, Freq-Par* and Eql-Pwr (B = 60%).
+
+Per workload class, average and worst normalized application
+performance for the four policies ("*" = memory pinned at maximum).
+Expected shape: FastCap at least matches CPU-only everywhere and beats
+it clearly on non-MEM classes (memory DVFS frees budget); Freq-Par
+shows a large worst-vs-average gap (efficiency-proportional allocation
+is unfair) plus power oscillation; Eql-Pwr's worst application is much
+slower than its average on heterogeneous mixes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.report import ExperimentOutput, Table
+from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.metrics.performance import summarize_degradation
+from repro.metrics.power import summarize_power
+from repro.workloads import MIX_CLASSES, WorkloadClass
+
+BUDGET = 0.60
+POLICIES = ("fastcap", "cpu-only", "freq-par", "eql-pwr")
+
+
+@register("fig9", "FastCap vs CPU-only*, Freq-Par*, Eql-Pwr (B=60%)")
+def run(runner: ExperimentRunner) -> ExperimentOutput:
+    rows = []
+    oscillation = {}
+    for policy in POLICIES:
+        for cls in WorkloadClass:
+            runs, bases = [], []
+            for workload in MIX_CLASSES[cls]:
+                spec = RunSpec(
+                    workload=workload, policy=policy, budget_fraction=BUDGET
+                )
+                run_result, base = runner.run_with_baseline(spec)
+                runs.append(run_result)
+                bases.append(base)
+                if policy == "freq-par" and workload == "MIX3":
+                    stats = summarize_power(run_result)
+                    oscillation["freq-par MIX3 max overshoot"] = (
+                        f"{stats.max_overshoot_fraction:.1%}"
+                    )
+            summary = summarize_degradation(runs, bases)
+            rows.append(
+                (
+                    policy,
+                    cls.value,
+                    summary.average,
+                    summary.worst,
+                    summary.outlier_gap,
+                )
+            )
+    out = ExperimentOutput(
+        "fig9", "FastCap vs CPU-only*, Freq-Par*, Eql-Pwr (B=60%)"
+    )
+    out.tables["performance"] = Table(
+        headers=("policy", "class", "avg degradation", "worst degradation", "gap"),
+        rows=tuple(rows),
+    )
+    for k, v in oscillation.items():
+        out.notes.append(f"{k}: {v}")
+    out.notes.append(
+        "expected shape: fastcap <= cpu-only everywhere (equal on MEM); "
+        "freq-par and eql-pwr show large worst-vs-average gaps"
+    )
+    return out

@@ -1,0 +1,58 @@
+"""Experiment registry: id → (title, runner function)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments.report import ExperimentOutput
+from repro.experiments.runner import ExperimentRunner
+
+RunnerFn = Callable[[ExperimentRunner], ExperimentOutput]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment (a paper table or figure)."""
+
+    experiment_id: str
+    title: str
+    fn: RunnerFn
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def register(experiment_id: str, title: str) -> Callable[[RunnerFn], RunnerFn]:
+    """Decorator registering an experiment module's entry point."""
+
+    def wrap(fn: RunnerFn) -> RunnerFn:
+        if experiment_id in EXPERIMENTS:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = ExperimentSpec(experiment_id, title, fn)
+        return fn
+
+    return wrap
+
+
+def list_experiments() -> List[str]:
+    """Registered experiment ids, sorted."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str,
+    quick: bool = True,
+    runner: ExperimentRunner = None,
+) -> ExperimentOutput:
+    """Run one experiment by id and return its output."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {list_experiments()}"
+        ) from None
+    if runner is None:
+        runner = ExperimentRunner(quick=quick)
+    return spec.fn(runner)

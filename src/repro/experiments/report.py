@@ -1,0 +1,109 @@
+"""Plain-text rendering of experiment outputs (paper-style rows/series)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Table:
+    """A printable table: headers plus string-convertible rows."""
+
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+
+    def render(self) -> str:
+        cells = [[str(h) for h in self.headers]] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(r[c]) for r in cells) for c in range(len(self.headers))]
+        lines = []
+        for i, row in enumerate(cells):
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Series:
+    """A labelled (x, y) series, e.g. power vs epoch."""
+
+    x_label: str
+    y_label: str
+    points: Tuple[Tuple[float, float], ...]
+
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+    def render(self, max_points: int = 12) -> str:
+        pts = list(self.points)
+        if len(pts) > max_points:
+            step = max(len(pts) // max_points, 1)
+            pts = pts[::step]
+        body = ", ".join(f"({x:g}, {y:.4g})" for x, y in pts)
+        return f"{self.x_label} -> {self.y_label}: {body}"
+
+    def sparkline(self, width: int = 60) -> str:
+        """Terminal mini-plot of the y values (for CLI eyeballing)."""
+        ys = self.ys()
+        if not ys:
+            return ""
+        if len(ys) > width:
+            step = len(ys) / width
+            ys = [ys[int(i * step)] for i in range(width)]
+        lo, hi = min(ys), max(ys)
+        span = hi - lo
+        blocks = " .:-=+*#%@"
+        if span <= 0:
+            return blocks[-1] * len(ys)
+        return "".join(
+            blocks[min(int((y - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
+            for y in ys
+        )
+
+
+@dataclass
+class ExperimentOutput:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    tables: Dict[str, Table] = field(default_factory=dict)
+    series: Dict[str, Series] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for name, table in self.tables.items():
+            parts.append(f"\n-- {name} --\n{table.render()}")
+        for name, series in self.series.items():
+            parts.append(f"\n-- {name} --\n{series.render()}")
+        if self.notes:
+            parts.append("\nnotes:")
+            parts.extend(f"  * {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def series_from_arrays(
+    x_label: str,
+    y_label: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+) -> Series:
+    """Build a series from parallel arrays."""
+    return Series(
+        x_label=x_label,
+        y_label=y_label,
+        points=tuple((float(x), float(y)) for x, y in zip(xs, ys)),
+    )

@@ -1,0 +1,28 @@
+"""Measurement and reporting metrics for capping experiments.
+
+* :mod:`repro.metrics.performance` — normalized per-application
+  degradation versus the max-frequency baseline (the paper's
+  "normalized CPI" bars);
+* :mod:`repro.metrics.power` — cap accuracy: mean/max power, violation
+  frequency, overshoot, and settle time;
+* :mod:`repro.metrics.fairness` — worst-vs-average gap and Jain's
+  index over per-application degradations.
+"""
+
+from repro.metrics.fairness import fairness_gap, jain_index
+from repro.metrics.performance import (
+    DegradationSummary,
+    normalized_degradation,
+    summarize_degradation,
+)
+from repro.metrics.power import PowerSummary, summarize_power
+
+__all__ = [
+    "DegradationSummary",
+    "PowerSummary",
+    "fairness_gap",
+    "jain_index",
+    "normalized_degradation",
+    "summarize_degradation",
+    "summarize_power",
+]

@@ -1,0 +1,47 @@
+"""Fairness metrics over per-application degradations.
+
+FastCap's defining property is that every application degrades by the
+same fraction of its best performance.  Two standard measures quantify
+this over a vector of normalized degradations:
+
+* the **outlier gap** — worst/average (1.0 = perfectly fair), the gap
+  visible between the paired bars of Figs 6/9/11/13;
+* **Jain's fairness index** — (Σx)² / (n·Σx²) ∈ (0, 1], classic in
+  resource-allocation literature.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def _validated(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ExperimentError("fairness metrics need at least one value")
+    if np.any(arr <= 0):
+        raise ExperimentError("degradations must be positive")
+    return arr
+
+
+def fairness_gap(degradations: Sequence[float]) -> float:
+    """worst / average of a degradation vector (1.0 = perfectly fair)."""
+    arr = _validated(degradations)
+    return float(arr.max() / arr.mean())
+
+
+def jain_index(degradations: Sequence[float]) -> float:
+    """Jain's fairness index of a degradation vector (1.0 = fair).
+
+    Computed over the *excess* slowdown (degradation − 1) would punish
+    tiny absolute differences at near-1 degradations, so — like the
+    paper's visual comparison — it is computed over the degradations
+    themselves.
+    """
+    arr = _validated(degradations)
+    total = arr.sum()
+    return float(total * total / (arr.size * np.sum(arr * arr)))

@@ -1,0 +1,78 @@
+"""Normalized application performance (the figures' y-axis).
+
+The paper reports per-application performance as CPI normalized to the
+baseline run with maximum core and memory frequencies; values above 1
+are the fractional performance loss caused by capping.  Because wall
+clock per instruction at a fixed nominal clock is proportional to CPI,
+we compute the ratio of time-per-instruction between the capped run and
+the baseline run — insensitive to the frequency the instructions
+actually ran at, which is what "performance" means here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.sim.server import RunResult
+
+
+def normalized_degradation(run: RunResult, baseline: RunResult) -> np.ndarray:
+    """Per-core degradation: TPI(run) / TPI(baseline), ≥ 1 under a cap.
+
+    Both runs must come from the same workload and configuration (same
+    per-core application assignment).
+    """
+    if run.workload_name != baseline.workload_name:
+        raise ExperimentError(
+            f"workload mismatch: {run.workload_name} vs {baseline.workload_name}"
+        )
+    if run.config_name != baseline.config_name:
+        raise ExperimentError(
+            f"config mismatch: {run.config_name} vs {baseline.config_name}"
+        )
+    return run.per_core_tpi_s() / baseline.per_core_tpi_s()
+
+
+@dataclass(frozen=True)
+class DegradationSummary:
+    """Average/worst normalized performance over a set of applications."""
+
+    average: float
+    worst: float
+    per_app: Dict[str, float]
+
+    @property
+    def outlier_gap(self) -> float:
+        """worst / average — FastCap keeps this near 1 (fairness)."""
+        return self.worst / self.average if self.average > 0 else float("inf")
+
+
+def summarize_degradation(
+    runs: Sequence[RunResult], baselines: Sequence[RunResult]
+) -> DegradationSummary:
+    """Aggregate degradations across runs (e.g. a workload class).
+
+    Per-application values average the copies of that application in
+    each run (the paper's per-application bars); ``worst`` is the worst
+    single application instance anywhere in the class.
+    """
+    if len(runs) != len(baselines):
+        raise ExperimentError("need one baseline per run")
+    all_values: List[float] = []
+    per_app: Dict[str, List[float]] = {}
+    for run, base in zip(runs, baselines):
+        degr = normalized_degradation(run, base)
+        all_values.extend(float(v) for v in degr)
+        for app, value in zip(run.app_names, degr):
+            per_app.setdefault(f"{run.workload_name}:{app}", []).append(float(value))
+    if not all_values:
+        raise ExperimentError("no runs to summarize")
+    return DegradationSummary(
+        average=float(np.mean(all_values)),
+        worst=float(np.max(all_values)),
+        per_app={k: float(np.mean(v)) for k, v in per_app.items()},
+    )

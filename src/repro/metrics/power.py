@@ -1,0 +1,82 @@
+"""Cap-accuracy metrics: how well a policy holds the budget.
+
+Captures the properties Figs 3/4/5/12 examine: mean power relative to
+the cap and to peak, worst single-epoch power, how often epochs exceed
+the budget, by how much, and how quickly violations are corrected (the
+paper observes corrections "within 10 ms", i.e. a couple of epochs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.sim.server import RunResult
+
+
+@dataclass(frozen=True)
+class PowerSummary:
+    """Budget-tracking statistics of one run."""
+
+    mean_w: float
+    max_epoch_w: float
+    budget_w: float
+    peak_w: float
+    #: Fraction of epochs whose average power exceeded the budget.
+    violation_fraction: float
+    #: Largest overshoot above the budget, as a fraction of the budget.
+    max_overshoot_fraction: float
+    #: Longest streak of consecutive violating epochs.
+    longest_violation_epochs: int
+
+    @property
+    def mean_of_peak(self) -> float:
+        """Mean power normalized to peak (Fig. 3/12's y-axis)."""
+        return self.mean_w / self.peak_w
+
+    @property
+    def max_of_peak(self) -> float:
+        return self.max_epoch_w / self.peak_w
+
+    @property
+    def mean_of_budget(self) -> float:
+        return self.mean_w / self.budget_w
+
+    def settles_within(self, epochs: int) -> bool:
+        """True when no violation streak outlasts ``epochs`` epochs."""
+        return self.longest_violation_epochs <= epochs
+
+
+def summarize_power(run: RunResult) -> PowerSummary:
+    """Budget-tracking summary of one run."""
+    if not run.epochs:
+        raise ExperimentError("run has no epochs")
+    powers = np.array([e.total_power_w for e in run.epochs])
+    budget = run.budget_watts
+    over = powers > budget * 1.001
+
+    longest = current = 0
+    for flag in over:
+        current = current + 1 if flag else 0
+        longest = max(longest, current)
+
+    overshoot = float(np.max(powers / budget - 1.0))
+    return PowerSummary(
+        mean_w=run.mean_power_w(),
+        max_epoch_w=float(powers.max()),
+        budget_w=budget,
+        peak_w=run.peak_power_w,
+        violation_fraction=float(np.mean(over)),
+        max_overshoot_fraction=max(overshoot, 0.0),
+        longest_violation_epochs=longest,
+    )
+
+
+def class_power_rows(
+    runs: Sequence[RunResult],
+) -> Sequence[PowerSummary]:
+    """Per-run power summaries, in input order (Fig. 3's bars)."""
+    return [summarize_power(r) for r in runs]

@@ -1,0 +1,38 @@
+"""Power-capping policies: FastCap and the Section IV-B baselines.
+
+Every policy implements the :class:`repro.sim.server.CappingPolicy`
+protocol (``initialize(view)`` + ``decide(counters)``).  The baselines
+follow the paper's descriptions:
+
+* ``CpuOnlyPolicy`` — FastCap's algorithm with memory pinned at its
+  maximum frequency (the "CPU-only*" bars);
+* ``FreqParPolicy`` — Freq-Par, the control-theoretic frequency-quota
+  loop of Ma et al. [22] with its deliberate linear power model;
+* ``EqlPwrPolicy`` — equal per-core power shares (Sharkey et al. [16]),
+  extended with FastCap's memory DVFS search;
+* ``EqlFreqPolicy`` — one global core frequency (Herbert et al. [42]),
+  extended with memory DVFS;
+* ``MaxBIPSPolicy`` — exhaustive throughput maximisation (Isci et
+  al. [14]) over all core x memory frequency combinations.
+"""
+
+from repro.core.governor import FastCapGovernor
+from repro.policies.cpu_only import CpuOnlyPolicy
+from repro.policies.eql_freq import EqlFreqPolicy
+from repro.policies.eql_pwr import EqlPwrPolicy
+from repro.policies.freq_par import FreqParPolicy
+from repro.policies.greedy_heap import GreedyHeapPolicy
+from repro.policies.maxbips import MaxBIPSPolicy
+from repro.policies.registry import POLICY_FACTORIES, make_policy
+
+__all__ = [
+    "CpuOnlyPolicy",
+    "EqlFreqPolicy",
+    "EqlPwrPolicy",
+    "FastCapGovernor",
+    "FreqParPolicy",
+    "GreedyHeapPolicy",
+    "MaxBIPSPolicy",
+    "POLICY_FACTORIES",
+    "make_policy",
+]

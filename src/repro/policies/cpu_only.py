@@ -1,0 +1,19 @@
+"""CPU-only*: FastCap's core search with memory pinned at maximum.
+
+The paper's first baseline "sets the core frequencies using the
+FastCap algorithm for every epoch, but keeps the memory frequency fixed
+at the maximum value" — the comparison isolates the benefit of managing
+memory power.  Implemented as the governor with a single-candidate
+memory list.
+"""
+
+from __future__ import annotations
+
+from repro.core.governor import FastCapGovernor
+
+
+class CpuOnlyPolicy(FastCapGovernor):
+    """FastCap minus memory DVFS (the paper's CPU-only* policy)."""
+
+    def __init__(self, search: str = "binary") -> None:
+        super().__init__(search=search, memory_mode="max", name="cpu-only")

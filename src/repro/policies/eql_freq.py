@@ -1,0 +1,69 @@
+"""Eql-Freq: one global core frequency (Herbert & Marculescu [42]).
+
+"This policy assigns the same frequency to all cores...  for each
+epoch, we search through all M and F frequencies to determine the pair
+that yields the highest D" — subject to the power budget.  Locking the
+cores together means one power-hungry application can hold every other
+core below the level the budget would otherwise allow (the
+conservatism Fig. 10 shows on 64-core MIX workloads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import FastCapInputs
+from repro.core.policy_base import ModelDrivenPolicy
+from repro.sim.counters import EpochCounters
+from repro.sim.server import FrequencySettings
+
+
+class EqlFreqPolicy(ModelDrivenPolicy):
+    """Single global core frequency + memory DVFS, best feasible D."""
+
+    name = "eql-freq"
+    uses_memory_dvfs = True
+
+    def decide_from_inputs(
+        self, inputs: FastCapInputs, counters: EpochCounters
+    ) -> FrequencySettings:
+        cfg = self.view.config
+        ladder = cfg.core_dvfs
+        ratios_ladder = np.array(
+            [f / ladder.f_max_hz for f in ladder.frequencies_hz]
+        )
+        t_bar = inputs.best_turnaround_s()
+
+        best_d = -np.inf
+        best_power = np.inf
+        best_z = inputs.z_max
+        best_idx = 0
+        found_feasible = False
+        for idx in range(inputs.n_candidates):
+            s_b = float(inputs.sb_candidates[idx])
+            mem_power = inputs.memory_dynamic_power_w(s_b)
+            r = inputs.response.per_core(s_b)
+            for ratio in ratios_ladder:
+                cpu_power = float(
+                    np.sum(inputs.core_p_max * ratio ** inputs.core_alpha)
+                )
+                power = cpu_power + mem_power + inputs.static_power_w
+                feasible = power <= inputs.budget_w
+                z = inputs.z_min / ratio
+                d = float(np.min(t_bar / (z + inputs.cache + r)))
+                if feasible and not found_feasible:
+                    # First feasible point always beats any infeasible one.
+                    found_feasible = True
+                    best_d, best_power, best_z, best_idx = d, power, z, idx
+                elif feasible == found_feasible:
+                    better = (
+                        d > best_d if feasible else power < best_power
+                    )
+                    if better:
+                        best_d, best_power, best_z, best_idx = d, power, z, idx
+
+        # No quantization repair: demoting individual cores would break
+        # the single-global-frequency invariant that defines Eql-Freq.
+        return self.settings_from_z(
+            inputs, best_z, best_idx, repair_quantization=False
+        )

@@ -1,0 +1,67 @@
+"""Eql-Pwr: equal per-core power shares (Sharkey et al. [16]).
+
+"This policy assigns an equal share of the overall power budget to all
+cores...  for each memory frequency, we compute the power share for
+each core by subtracting the memory power (and the background power)
+from the full-system power budget and dividing the result by N.  Then,
+we set each core's frequency as high as possible without violating the
+per-core budget.  For each epoch, we search through all M memory
+frequencies, and use the solution that yields the best D."
+
+The unfairness mechanism the paper highlights falls out naturally:
+low-power applications cannot spend their share even at f_max while
+power-hungry ones are starved at the same share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import FastCapInputs
+from repro.core.policy_base import ModelDrivenPolicy
+from repro.sim.counters import EpochCounters
+from repro.sim.server import FrequencySettings
+
+
+class EqlPwrPolicy(ModelDrivenPolicy):
+    """Equal power shares per core, with FastCap's memory DVFS search."""
+
+    name = "eql-pwr"
+    uses_memory_dvfs = True
+
+    def decide_from_inputs(
+        self, inputs: FastCapInputs, counters: EpochCounters
+    ) -> FrequencySettings:
+        cfg = self.view.config
+        ladder = cfg.core_dvfs
+        n = inputs.n_cores
+        ratios_ladder = np.array(
+            [f / ladder.f_max_hz for f in ladder.frequencies_hz]
+        )
+        t_bar = inputs.best_turnaround_s()
+
+        best_d = -np.inf
+        best_z = inputs.z_max
+        best_idx = 0
+        for idx in range(inputs.n_candidates):
+            s_b = float(inputs.sb_candidates[idx])
+            mem_power = inputs.memory_dynamic_power_w(s_b)
+            share = (
+                inputs.budget_w - inputs.static_power_w - mem_power
+            ) / n
+
+            # Highest ladder level whose predicted dynamic power fits
+            # the per-core share, independently per core.
+            z = np.empty(n)
+            for i in range(n):
+                p_levels = inputs.core_p_max[i] * ratios_ladder ** inputs.core_alpha[i]
+                feasible = np.nonzero(p_levels <= share)[0]
+                level = int(feasible[-1]) if feasible.size else 0
+                z[i] = inputs.z_min[i] / ratios_ladder[level]
+
+            r = inputs.response.per_core(s_b)
+            d = float(np.min(t_bar / (z + inputs.cache + r)))
+            if d > best_d:
+                best_d, best_z, best_idx = d, z, idx
+
+        return self.settings_from_z(inputs, best_z, best_idx)

@@ -1,0 +1,88 @@
+"""Freq-Par: control-theoretic frequency-quota capping (Ma et al. [22]).
+
+The paper describes Freq-Par as: "the core power is adjusted in every
+epoch based on a linear feedback control loop; each core receives a
+frequency allocation that is based on its power efficiency.  Freq-Par
+uses a linear power-frequency model to correct the average core power
+from epoch to epoch", with memory fixed at maximum frequency.
+
+We implement the loop faithfully, *including* the deliberately linear
+power model the paper criticises: the controller estimates
+``k = P_cpu / Σ f_i`` (watts per hertz, through the origin) and nudges
+a global frequency quota by ``Δ = error / k`` each epoch.  The quota is
+distributed in proportion to per-core power efficiency (instructions
+per joule), so inefficient cores receive less of the budget — the exact
+source of the unfairness the evaluation highlights.  The model's
+curvature error (real power is superlinear in frequency) makes the loop
+alternately over- and under-correct, which is what produces Freq-Par's
+power oscillation in Fig. 9's discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.counters import EpochCounters
+from repro.sim.server import FrequencySettings, SystemView
+
+
+class FreqParPolicy:
+    """Linear-feedback frequency-quota controller (memory at max)."""
+
+    name = "freq-par"
+
+    def __init__(self, gain: float = 1.0) -> None:
+        #: Loop gain on the power error (1.0 = full deadbeat correction
+        #: under the linear model, as in the original design).
+        self._gain = gain
+        self._view: Optional[SystemView] = None
+        self._quota_hz: float = 0.0
+
+    # ------------------------------------------------------------------
+    def initialize(self, view: SystemView) -> None:
+        self._view = view
+        cfg = view.config
+        self._quota_hz = cfg.n_cores * cfg.core_dvfs.f_max_hz
+
+    # ------------------------------------------------------------------
+    def decide(self, counters: EpochCounters) -> FrequencySettings:
+        assert self._view is not None, "initialize() must run first"
+        view = self._view
+        cfg = view.config
+        ladder = cfg.core_dvfs
+        n = cfg.n_cores
+
+        freqs = np.array([c.frequency_hz for c in counters.cores])
+        core_powers = np.array([c.power_w for c in counters.cores])
+        cpu_power = float(core_powers.sum())
+        total_power = counters.total_power_w
+
+        # Linear power-frequency model through the origin: P = k·Σf.
+        k = cpu_power / max(float(freqs.sum()), 1.0)
+
+        # The CPU quota absorbs the full-system error (memory is not
+        # managed, so the cores are the only actuator).
+        error_w = view.budget_watts - total_power
+        self._quota_hz += self._gain * error_w / max(k, 1e-12)
+        self._quota_hz = float(
+            np.clip(
+                self._quota_hz,
+                n * ladder.f_min_hz,
+                n * ladder.f_max_hz,
+            )
+        )
+
+        # Distribute the quota by power efficiency (instructions per
+        # joule): efficient cores get proportionally more frequency.
+        ips = np.array([c.ips() for c in counters.cores])
+        efficiency = ips / np.maximum(core_powers, 1e-9)
+        weights = efficiency / max(float(efficiency.sum()), 1e-300)
+        allocation = weights * self._quota_hz
+
+        core_freqs = tuple(
+            ladder.quantize(float(np.clip(f, ladder.f_min_hz, ladder.f_max_hz)))
+            for f in allocation
+        )
+        return FrequencySettings(core_freqs, cfg.mem_dvfs.f_max_hz)

@@ -1,0 +1,142 @@
+"""Steepest-drop greedy capping (Meng et al. [18], Winter et al. [19]).
+
+Table I's "Heuristics" row: start from maximum frequencies and
+repeatedly take the single DVFS step-down with the best
+Δpower/Δperformance ratio until the predicted power fits the budget.
+Winter et al. organise the candidate moves in a max-heap, giving
+O(F N log N) worst case; we implement exactly that structure, extended
+— like the paper extends its other baselines — with the memory
+frequency as one more steppable component.
+
+Characteristics the evaluation cares about: the greedy ratio rule
+optimises aggregate efficiency, not fairness, so power-hungry
+applications absorb most of the steps (outliers); and with all
+components starting at maximum, each epoch's decision cost grows with
+how deep the budget forces the system to descend.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.model import FastCapInputs
+from repro.core.policy_base import ModelDrivenPolicy
+from repro.sim.counters import EpochCounters
+from repro.sim.server import FrequencySettings
+
+
+class GreedyHeapPolicy(ModelDrivenPolicy):
+    """Max-heap steepest-drop DVFS descent with memory as a component."""
+
+    name = "greedy-heap"
+    uses_memory_dvfs = True
+
+    def decide_from_inputs(
+        self, inputs: FastCapInputs, counters: EpochCounters
+    ) -> FrequencySettings:
+        cfg = self.view.config
+        ladder = cfg.core_dvfs
+        core_ratios = np.array(
+            [f / ladder.f_max_hz for f in ladder.frequencies_hz]
+        )
+        n = inputs.n_cores
+        n_levels = core_ratios.size
+        t_bar = inputs.best_turnaround_s()
+
+        # State: per-core ladder level (descending from max) and the
+        # memory candidate index (ascending transfer time from 0).
+        core_levels = np.full(n, n_levels - 1, dtype=int)
+        mem_index = 0
+
+        # Pre-computed per-core power and turnaround at each level.
+        core_power = (
+            inputs.core_p_max[:, None]
+            * core_ratios[None, :] ** inputs.core_alpha[:, None]
+        )
+
+        def turnaround(core: int, level: int, m_idx: int) -> float:
+            r = float(
+                inputs.response.per_core(float(inputs.sb_candidates[m_idx]))[core]
+            )
+            z = float(inputs.z_min[core]) / float(core_ratios[level])
+            return z + float(inputs.cache[core]) + r
+
+        def mem_power(m_idx: int) -> float:
+            return inputs.memory_dynamic_power_w(
+                float(inputs.sb_candidates[m_idx])
+            )
+
+        def total_power() -> float:
+            cpu = float(core_power[np.arange(n), core_levels].sum())
+            return cpu + mem_power(mem_index) + inputs.static_power_w
+
+        def core_move(core: int) -> Tuple[float, float, float]:
+            """(ratio, d_power, d_perf) of stepping this core down."""
+            level = core_levels[core]
+            d_power = float(core_power[core, level] - core_power[core, level - 1])
+            before = t_bar[core] / turnaround(core, level, mem_index)
+            after = t_bar[core] / turnaround(core, level - 1, mem_index)
+            d_perf = max(before - after, 1e-12)
+            return d_power / d_perf, d_power, d_perf
+
+        def memory_move() -> Tuple[float, float, float]:
+            """(ratio, d_power, d_perf) of stepping the memory down."""
+            d_power = mem_power(mem_index) - mem_power(mem_index + 1)
+            # Performance loss: the worst-affected core's drop.
+            losses = []
+            for core in range(n):
+                level = core_levels[core]
+                before = t_bar[core] / turnaround(core, level, mem_index)
+                after = t_bar[core] / turnaround(core, level, mem_index + 1)
+                losses.append(before - after)
+            d_perf = max(max(losses), 1e-12)
+            return d_power / d_perf, d_power, d_perf
+
+        # Max-heap of candidate moves keyed by Δpower/Δperf (negated
+        # for heapq).  Entries are lazily revalidated on pop, the
+        # standard stale-entry heap pattern Winter et al. use.
+        heap: List[Tuple[float, int]] = []  # (-ratio, component)
+        MEMORY = -1
+
+        def push(component: int) -> None:
+            if component == MEMORY:
+                if mem_index < inputs.n_candidates - 1:
+                    heapq.heappush(heap, (-memory_move()[0], MEMORY))
+            elif core_levels[component] > 0:
+                heapq.heappush(heap, (-core_move(component)[0], component))
+
+        for core in range(n):
+            push(core)
+        push(MEMORY)
+
+        guard = (n + 1) * (n_levels + inputs.n_candidates)
+        while total_power() > inputs.budget_w and heap and guard > 0:
+            guard -= 1
+            neg_ratio, component = heapq.heappop(heap)
+            # Revalidate: the move's ratio may be stale.
+            if component == MEMORY:
+                if mem_index >= inputs.n_candidates - 1:
+                    continue
+                current = memory_move()[0]
+                if -neg_ratio > current * (1 + 1e-9):
+                    heapq.heappush(heap, (-current, MEMORY))
+                    continue
+                mem_index += 1
+                push(MEMORY)
+            else:
+                if core_levels[component] <= 0:
+                    continue
+                current = core_move(component)[0]
+                if -neg_ratio > current * (1 + 1e-9):
+                    heapq.heappush(heap, (-current, component))
+                    continue
+                core_levels[component] -= 1
+                push(component)
+
+        core_freqs = tuple(
+            ladder.frequencies_hz[int(level)] for level in core_levels
+        )
+        return FrequencySettings(core_freqs, self.bus_freq_of_index(mem_index))

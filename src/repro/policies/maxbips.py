@@ -1,0 +1,114 @@
+"""MaxBIPS: exhaustive throughput maximisation (Isci et al. [14]).
+
+"Its goal is to maximize the total number of executed instructions in
+each epoch...  [14] exhaustively searches through all core frequency
+settings.  We implement this search to evaluate all possible
+combinations of core and memory frequencies within the power budget."
+
+The search enumerates all F^N core-frequency combinations crossed with
+the M memory frequencies, predicts throughput and power for each from
+the shared counter-driven models, and picks the feasible combination
+with the highest total BIPS.  Complexity is exponential in N — the
+paper (and this reproduction) only runs it on 4-core systems, and
+Table I uses its cost as the exhaustive-search reference point.
+
+Fairness is *not* part of the objective: power migrates to
+power-efficient applications, starving the rest — the outlier behaviour
+Fig. 11 shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import FastCapInputs
+from repro.core.policy_base import ModelDrivenPolicy
+from repro.errors import ConfigurationError
+from repro.sim.counters import EpochCounters
+from repro.sim.server import FrequencySettings, SystemView
+
+#: Enumerating F^N configurations explodes quickly; the paper only
+#: evaluates MaxBIPS on 4-core systems for the same reason.
+_MAX_CORES = 8
+
+
+class MaxBIPSPolicy(ModelDrivenPolicy):
+    """Exhaustive BIPS maximisation over all (core, memory) frequencies."""
+
+    name = "maxbips"
+    uses_memory_dvfs = True
+
+    def initialize(self, view: SystemView) -> None:
+        if view.config.n_cores > _MAX_CORES:
+            raise ConfigurationError(
+                f"MaxBIPS enumerates F^N configurations; refusing to run "
+                f"with {view.config.n_cores} cores (max {_MAX_CORES}) — "
+                "this is the scalability wall Table I documents"
+            )
+        super().initialize(view)
+        ladder = view.config.core_dvfs
+        n = view.config.n_cores
+        f_levels = len(ladder.frequencies_hz)
+        # Pre-computed (F^N, N) matrix of ladder-level indices.
+        grids = np.meshgrid(*([np.arange(f_levels)] * n), indexing="ij")
+        self._combos = np.stack([g.ravel() for g in grids], axis=1)
+        self._ratios_ladder = np.array(
+            [f / ladder.f_max_hz for f in ladder.frequencies_hz]
+        )
+
+    def decide_from_inputs(
+        self, inputs: FastCapInputs, counters: EpochCounters
+    ) -> FrequencySettings:
+        n = inputs.n_cores
+        combos = self._combos  # (C, N) level indices
+        ratios = self._ratios_ladder[combos]  # (C, N) frequency ratios
+
+        # Per-combination CPU power: sum_i P_i * ratio_i^alpha_i.
+        cpu_power = np.sum(
+            inputs.core_p_max[None, :] * ratios ** inputs.core_alpha[None, :],
+            axis=1,
+        )
+
+        inst_per_miss = np.array(
+            [core.instructions_per_miss() for core in counters.cores]
+        )
+        finite_ipm = np.where(np.isfinite(inst_per_miss), inst_per_miss, 1e12)
+
+        best_bips = -np.inf
+        best_combo: np.ndarray = combos[0]
+        best_idx = 0
+        fallback_power = np.inf
+        t_bar = inputs.best_turnaround_s()  # noqa: F841 (fairness not used)
+
+        for idx in range(inputs.n_candidates):
+            s_b = float(inputs.sb_candidates[idx])
+            mem_power = inputs.memory_dynamic_power_w(s_b)
+            total_power = cpu_power + mem_power + inputs.static_power_w
+            feasible = total_power <= inputs.budget_w
+
+            r = inputs.response.per_core(s_b)  # (N,)
+            z = inputs.z_min[None, :] / ratios  # (C, N)
+            turnaround = z + inputs.cache[None, :] + r[None, :]
+            bips = np.sum(finite_ipm[None, :] / turnaround, axis=1)
+
+            if np.any(feasible):
+                masked = np.where(feasible, bips, -np.inf)
+                c = int(np.argmax(masked))
+                if masked[c] > best_bips:
+                    best_bips = float(masked[c])
+                    best_combo = combos[c]
+                    best_idx = idx
+            elif not np.isfinite(best_bips):
+                # Nothing feasible anywhere yet: remember the least
+                # violating configuration as a fallback.
+                c = int(np.argmin(total_power))
+                if total_power[c] < fallback_power:
+                    fallback_power = float(total_power[c])
+                    best_combo = combos[c]
+                    best_idx = idx
+
+        ladder = self.view.config.core_dvfs
+        core_freqs = tuple(
+            ladder.frequencies_hz[int(level)] for level in best_combo
+        )
+        return FrequencySettings(core_freqs, self.bus_freq_of_index(best_idx))

@@ -1,0 +1,40 @@
+"""Policy registry: name → factory, used by experiments and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.governor import FastCapGovernor
+from repro.errors import ConfigurationError
+from repro.policies.cpu_only import CpuOnlyPolicy
+from repro.policies.eql_freq import EqlFreqPolicy
+from repro.policies.eql_pwr import EqlPwrPolicy
+from repro.policies.freq_par import FreqParPolicy
+from repro.policies.greedy_heap import GreedyHeapPolicy
+from repro.policies.maxbips import MaxBIPSPolicy
+from repro.sim.server import MaxFrequencyPolicy
+
+POLICY_FACTORIES: Dict[str, Callable[[], object]] = {
+    "fastcap": lambda: FastCapGovernor(search="binary"),
+    "fastcap-exhaustive": lambda: FastCapGovernor(
+        search="exhaustive", name="fastcap-exhaustive"
+    ),
+    "cpu-only": CpuOnlyPolicy,
+    "freq-par": FreqParPolicy,
+    "eql-pwr": EqlPwrPolicy,
+    "eql-freq": EqlFreqPolicy,
+    "greedy-heap": GreedyHeapPolicy,
+    "maxbips": MaxBIPSPolicy,
+    "max-freq": MaxFrequencyPolicy,
+}
+
+
+def make_policy(name: str):
+    """Instantiate a policy by registry name."""
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {sorted(POLICY_FACTORIES)}"
+        ) from None
+    return factory()

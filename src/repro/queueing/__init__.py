@@ -1,0 +1,36 @@
+"""Closed queueing network with transfer blocking (paper Section III-A).
+
+The network has one job class per core (a core's single outstanding
+blocking miss — or several for idealised out-of-order mode), a set of
+memory-bank FCFS stations grouped by memory controller, and one
+transfer bus per controller.  A bank cannot start its next request
+until its current request's data has crossed the bus ("transfer
+blocking", Fig. 1).
+
+Two solvers are provided:
+
+* :mod:`repro.queueing.mva` — an approximate Mean Value Analysis
+  fixed point, the simulator's fast path;
+* :mod:`repro.queueing.eventsim` — a discrete-event simulation of the
+  same network, used to validate the AMVA approximation.
+"""
+
+from repro.queueing.network import (
+    BackgroundFlow,
+    ControllerSpec,
+    JobClassSpec,
+    QueueingNetwork,
+)
+from repro.queueing.mva import MVASolution, solve_mva
+from repro.queueing.eventsim import EventSimResult, simulate_network
+
+__all__ = [
+    "BackgroundFlow",
+    "ControllerSpec",
+    "EventSimResult",
+    "JobClassSpec",
+    "MVASolution",
+    "QueueingNetwork",
+    "simulate_network",
+    "solve_mva",
+]

@@ -1,0 +1,210 @@
+"""Network description shared by the AMVA solver and the event simulator.
+
+Everything is plain data: job classes (one per core), controllers
+(bank group + transfer bus) and open background flows (writebacks and
+out-of-order non-blocking misses, which occupy banks and bus but sit
+off the cores' critical path — Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_PROB_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class JobClassSpec:
+    """One core's blocking-request stream.
+
+    ``think_time_s`` is the execute time between two blocking misses at
+    the core's *current* frequency (z_i); ``cache_time_s`` is the L2
+    access time per miss (c_i), which does not scale with core DVFS.
+    ``population`` is the number of outstanding blocking requests the
+    core sustains (1 in-order; >1 models idealised OoO memory-level
+    parallelism).  ``bank_probs`` routes requests over *all* banks in
+    the network (concatenated across controllers).
+    """
+
+    name: str
+    think_time_s: float
+    cache_time_s: float
+    bank_probs: Tuple[float, ...]
+    population: int = 1
+
+    def __post_init__(self) -> None:
+        if self.think_time_s < 0 or self.cache_time_s < 0:
+            raise ConfigurationError("think and cache times must be non-negative")
+        if self.population < 1:
+            raise ConfigurationError("population must be at least 1")
+        total = sum(self.bank_probs)
+        if abs(total - 1.0) > _PROB_TOL:
+            raise ConfigurationError(
+                f"bank routing probabilities sum to {total}, expected 1"
+            )
+        if any(p < 0 for p in self.bank_probs):
+            raise ConfigurationError("routing probabilities must be non-negative")
+
+
+@dataclass(frozen=True)
+class BackgroundFlow:
+    """Open traffic at one bank: writebacks / non-blocking OoO misses.
+
+    ``rate_per_s`` requests arrive (Poisson in the event simulator) at
+    the bank, occupy it for its service time and then cross the bus,
+    exactly like foreground requests, but nothing waits on them.
+    """
+
+    bank_index: int
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise ConfigurationError("background rate must be non-negative")
+        if self.bank_index < 0:
+            raise ConfigurationError("bank index must be non-negative")
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """One memory controller: a group of banks plus one transfer bus.
+
+    ``bank_service_s`` holds the mean bank occupancy per request
+    (row-hit/miss weighted, from :mod:`repro.sim.dram_timing`);
+    ``bus_transfer_s`` is the effective per-request transfer time of
+    the controller's aggregated channel bus at its current frequency.
+    """
+
+    bank_service_s: Tuple[float, ...]
+    bus_transfer_s: float
+
+    def __post_init__(self) -> None:
+        if not self.bank_service_s:
+            raise ConfigurationError("controller needs at least one bank")
+        if any(s <= 0 for s in self.bank_service_s):
+            raise ConfigurationError("bank service times must be positive")
+        if self.bus_transfer_s <= 0:
+            raise ConfigurationError("bus transfer time must be positive")
+
+    @property
+    def n_banks(self) -> int:
+        return len(self.bank_service_s)
+
+
+@dataclass(frozen=True)
+class QueueingNetwork:
+    """The full closed network: classes, controllers, background flows."""
+
+    classes: Tuple[JobClassSpec, ...]
+    controllers: Tuple[ControllerSpec, ...]
+    background: Tuple[BackgroundFlow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ConfigurationError("network needs at least one job class")
+        if not self.controllers:
+            raise ConfigurationError("network needs at least one controller")
+        n_banks = self.total_banks
+        for cls in self.classes:
+            if len(cls.bank_probs) != n_banks:
+                raise ConfigurationError(
+                    f"class {cls.name!r} routes over {len(cls.bank_probs)} banks, "
+                    f"network has {n_banks}"
+                )
+        for flow in self.background:
+            if flow.bank_index >= n_banks:
+                raise ConfigurationError(
+                    f"background flow targets bank {flow.bank_index}, "
+                    f"network has {n_banks}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def total_banks(self) -> int:
+        return sum(c.n_banks for c in self.controllers)
+
+    @property
+    def total_population(self) -> int:
+        return sum(c.population for c in self.classes)
+
+    def bank_controller_map(self) -> np.ndarray:
+        """Controller index of each (global) bank."""
+        out = np.empty(self.total_banks, dtype=np.int64)
+        start = 0
+        for k, ctrl in enumerate(self.controllers):
+            out[start : start + ctrl.n_banks] = k
+            start += ctrl.n_banks
+        return out
+
+    def bank_service_vector(self) -> np.ndarray:
+        """Per-bank mean service times, concatenated across controllers."""
+        return np.concatenate(
+            [np.asarray(c.bank_service_s, dtype=float) for c in self.controllers]
+        )
+
+    def bus_transfer_vector(self) -> np.ndarray:
+        """Per-controller bus transfer time."""
+        return np.asarray([c.bus_transfer_s for c in self.controllers], dtype=float)
+
+    def routing_matrix(self) -> np.ndarray:
+        """(n_classes, total_banks) routing probabilities."""
+        return np.asarray([c.bank_probs for c in self.classes], dtype=float)
+
+    def background_rate_vector(self) -> np.ndarray:
+        """Per-bank background arrival rates (requests/s)."""
+        rates = np.zeros(self.total_banks, dtype=float)
+        for flow in self.background:
+            rates[flow.bank_index] += flow.rate_per_s
+        return rates
+
+
+def uniform_bank_probs(n_banks: int) -> Tuple[float, ...]:
+    """Uniform routing over ``n_banks`` banks."""
+    if n_banks < 1:
+        raise ConfigurationError("n_banks must be positive")
+    return tuple(1.0 / n_banks for _ in range(n_banks))
+
+
+def zipf_bank_probs(n_banks: int, skew: float, shift: int = 0) -> Tuple[float, ...]:
+    """Zipf-like routing over banks: rank r gets weight 1/(r+1)^skew.
+
+    ``shift`` rotates which bank is hottest, so different cores can have
+    different hot banks (used by the bank-skew knob of application
+    profiles).  ``skew`` = 0 reduces to uniform routing.
+    """
+    if n_banks < 1:
+        raise ConfigurationError("n_banks must be positive")
+    if skew < 0:
+        raise ConfigurationError("skew must be non-negative")
+    weights = np.array([1.0 / (r + 1.0) ** skew for r in range(n_banks)])
+    weights = np.roll(weights, shift % n_banks)
+    weights /= weights.sum()
+    return tuple(float(w) for w in weights)
+
+
+def split_controller_probs(
+    per_controller_probs: Sequence[Sequence[float]],
+    controller_weights: Sequence[float],
+) -> Tuple[float, ...]:
+    """Combine per-controller bank routing with controller weights.
+
+    ``controller_weights[k]`` is the probability a request goes to
+    controller ``k`` (the access-pattern probabilities of Section IV-B's
+    multiple-controller study); ``per_controller_probs[k]`` routes
+    within that controller's banks.
+    """
+    if abs(sum(controller_weights) - 1.0) > _PROB_TOL:
+        raise ConfigurationError("controller weights must sum to 1")
+    combined = []
+    for weight, probs in zip(controller_weights, per_controller_probs):
+        combined.extend(weight * p for p in probs)
+    return tuple(combined)

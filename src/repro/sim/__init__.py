@@ -1,0 +1,60 @@
+"""Many-core server simulation substrate.
+
+This package is the reproduction's stand-in for the cycle-accurate
+CoScale-derived simulator used in the paper.  It models:
+
+* per-core DVFS ladders with voltage scaling (:mod:`repro.sim.dvfs`),
+* DDR3 bank service times derived from Table II timing (:mod:`repro.sim.dram_timing`),
+* DRAM + memory-controller power from Table II currents (:mod:`repro.sim.dram_power`),
+* core dynamic/leakage power (:mod:`repro.sim.cpu_power`),
+* performance-counter sampling (:mod:`repro.sim.counters`), and
+* the epoch-level server loop that ties it together (:mod:`repro.sim.server`).
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    DDR3Currents,
+    DDR3Timing,
+    EpochConfig,
+    MemoryTopology,
+    NoiseConfig,
+    OoOConfig,
+    PowerCalibration,
+    SystemConfig,
+    table2_config,
+)
+from repro.sim.dvfs import DVFSLadder
+from repro.sim.counters import ControllerCounters, CoreCounters, EpochCounters
+from repro.sim.server import (
+    CappingPolicy,
+    EpochRecord,
+    FrequencySettings,
+    MaxFrequencyPolicy,
+    RunResult,
+    ServerSimulator,
+    SystemView,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CappingPolicy",
+    "ControllerCounters",
+    "CoreCounters",
+    "DDR3Currents",
+    "DDR3Timing",
+    "DVFSLadder",
+    "EpochConfig",
+    "EpochCounters",
+    "EpochRecord",
+    "FrequencySettings",
+    "MaxFrequencyPolicy",
+    "MemoryTopology",
+    "NoiseConfig",
+    "OoOConfig",
+    "PowerCalibration",
+    "RunResult",
+    "ServerSimulator",
+    "SystemConfig",
+    "SystemView",
+    "table2_config",
+]

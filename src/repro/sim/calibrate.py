@@ -1,0 +1,62 @@
+"""Peak-power observation (paper Section IV-B, first paragraph).
+
+"We first run all workloads under the maximum frequencies to observe
+the peak power the system ever consumed."  The observed peak defines
+the budget basis: a budget fraction B caps the system at B × peak.
+
+:func:`measure_peak_power` replays that procedure on a configuration;
+:func:`measured_peak_table` regenerates the constants embedded in
+:mod:`repro.sim.config` (a test asserts they stay consistent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.config import SystemConfig
+
+
+def measure_peak_power(
+    config: SystemConfig,
+    workload_names: Optional[Iterable[str]] = None,
+    epochs_per_workload: int = 4,
+    seed: int = 0,
+) -> float:
+    """Max epoch power over all workloads at maximum frequencies."""
+    from repro.sim.server import MaxFrequencyPolicy, ServerSimulator
+    from repro.workloads import ALL_MIXES, get_workload
+
+    names = list(workload_names) if workload_names is not None else list(ALL_MIXES)
+    peak = 0.0
+    for name in names:
+        sim = ServerSimulator(config, get_workload(name), seed=seed)
+        result = sim.run(
+            MaxFrequencyPolicy(),
+            budget_fraction=1.0,
+            instruction_quota=None,
+            max_epochs=epochs_per_workload,
+        )
+        peak = max(peak, result.max_epoch_power_w())
+    return peak
+
+
+def measured_peak_table(
+    core_counts: Tuple[int, ...] = (4, 16, 32, 64),
+) -> Dict[Tuple[int, bool, int, float], float]:
+    """Recompute the measured-peak constants for the canonical configs.
+
+    Keys are ``(n_cores, ooo, n_controllers, controller_skew)`` — the
+    same key :func:`repro.sim.config.table2_config` uses for lookup.
+    """
+    from repro.sim.config import table2_config
+
+    table: Dict[Tuple[int, bool, int, float], float] = {}
+    for n in core_counts:
+        table[(n, False, 1, 0.0)] = measure_peak_power(table2_config(n))
+    table[(16, True, 1, 0.0)] = measure_peak_power(table2_config(16, ooo=True))
+    table[(16, False, 4, 0.6)] = measure_peak_power(
+        table2_config(16, n_controllers=4, controller_skew=0.6)
+    )
+    return {k: float(np.round(v, 1)) for k, v in table.items()}

@@ -1,0 +1,130 @@
+"""Performance-counter samples: what the OS governor actually sees.
+
+FastCap's inputs are a handful of counters gathered during the 300 µs
+profiling window of each epoch (Section III-C): per-core instruction
+and miss counts, execute (non-stalled) time, the memory controller's
+average bank queue size Q and bus queue size U proposed by MemScale,
+the measured bank service time, and per-component power readings.
+
+The simulator fills these from its queueing solution plus sampling
+noise; the governor side (:mod:`repro.core`) consumes them without
+access to any ground-truth model internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class CoreCounters:
+    """One core's profiling-window sample."""
+
+    #: Instructions retired during the window (paper's TIC).
+    instructions: float
+    #: Blocking last-level cache misses during the window (TLM).
+    llc_misses: float
+    #: Time spent executing, i.e. not stalled on memory (seconds).
+    busy_time_s: float
+    #: Window length (seconds).
+    window_s: float
+    #: Mean L2 access time per miss (the model's c_i), seconds.
+    cache_time_s: float
+    #: Core clock during the window.
+    frequency_hz: float
+    #: Measured per-core power (dynamic + static), watts.
+    power_w: float
+    #: Measured mean memory response time seen by this core, seconds.
+    memory_response_s: float
+    #: Probability of this core's requests visiting each controller.
+    controller_visits: Tuple[float, ...]
+
+    def think_time_s(self) -> float:
+        """Mean execute time between blocking misses at the current clock."""
+        if self.llc_misses <= 0:
+            return self.busy_time_s  # effectively no memory activity
+        return self.busy_time_s / self.llc_misses
+
+    def min_think_time_s(self, f_max_hz: float) -> float:
+        """Paper Eq. 9 scaled to the maximum frequency (the model's z̄_i).
+
+        Think time scales inversely with frequency, so the minimum
+        think time is the measured one shrunk by f/f_max.
+        """
+        if f_max_hz <= 0:
+            raise ModelError("f_max must be positive")
+        return self.think_time_s() * (self.frequency_hz / f_max_hz)
+
+    def instructions_per_miss(self) -> float:
+        """Mean instructions between blocking misses (TIC/TLM)."""
+        if self.llc_misses <= 0:
+            return float("inf")
+        return self.instructions / self.llc_misses
+
+    def ips(self) -> float:
+        """Instructions per second over the window."""
+        return self.instructions / self.window_s
+
+    def cpi(self) -> float:
+        """Cycles per instruction over the window."""
+        ips = self.ips()
+        if ips <= 0:
+            return float("inf")
+        return self.frequency_hz / ips
+
+
+@dataclass(frozen=True)
+class ControllerCounters:
+    """One memory controller's profiling-window sample."""
+
+    #: Expected number of requests at a bank incl. the arrival (paper Q).
+    q: float
+    #: Expected bus backlog at departure incl. the departing one (paper U).
+    u: float
+    #: Measured mean bank service time, seconds (paper s_m).
+    bank_service_s: float
+    #: Bus utilisation during the window.
+    bus_utilization: float
+    #: Total request arrival rate at the controller (req/s).
+    arrival_rate_per_s: float
+
+    def response_time_s(self, bus_transfer_s: float) -> float:
+        """Paper Eq. 1: R(s_b) ≈ Q (s_m + U s_b)."""
+        if bus_transfer_s <= 0:
+            raise ModelError("bus transfer time must be positive")
+        return self.q * (self.bank_service_s + self.u * bus_transfer_s)
+
+
+@dataclass(frozen=True)
+class EpochCounters:
+    """Everything the governor receives for one epoch's decision."""
+
+    epoch_index: int
+    cores: Tuple[CoreCounters, ...]
+    controllers: Tuple[ControllerCounters, ...]
+    #: Memory-subsystem power (all controllers + DRAM + IO), watts.
+    memory_power_w: float
+    #: Full-system power during the window, watts.
+    total_power_w: float
+    #: Bus frequency during the window.
+    bus_frequency_hz: float
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def weighted_response_s(self, core_index: int, bus_transfer_s: float) -> float:
+        """Multi-controller weighted R for one core (Section IV-B).
+
+        ``R_i = Σ_k p_{i,k} · Q_k (s_m,k + U_k s_b)`` — each controller
+        keeps its own Q/U counters and cores mix their responses by
+        visit probability.
+        """
+        core = self.cores[core_index]
+        return sum(
+            p * ctrl.response_time_s(bus_transfer_s)
+            for p, ctrl in zip(core.controller_visits, self.controllers)
+        )

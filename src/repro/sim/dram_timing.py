@@ -1,0 +1,83 @@
+"""DDR3 bank service times derived from Table II timing parameters.
+
+The queueing model needs ``s_m``: the mean time a memory bank is busy
+serving one request, excluding the bus transfer (which the model
+accounts separately, with transfer blocking).  A row-buffer *hit* costs
+a column access (tCL); a *miss* additionally precharges and re-opens
+the row (tRP + tRCD).  Writebacks behave like writes with the same bank
+occupancy.  tFAW/tRRD activation throttling appears as a small
+utilisation-dependent inflation at high activation rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.sim.config import DDR3Timing
+
+
+@dataclass(frozen=True)
+class BankServiceModel:
+    """Computes mean bank occupancy per request for a timing config."""
+
+    timing: DDR3Timing
+    #: Bus frequency used to convert the cycle-denominated constraints;
+    #: DRAM core timing does not scale with interface DVFS, so this is
+    #: pinned at the maximum bus frequency of the ladder.
+    reference_bus_hz: float
+
+    def row_hit_service_s(self) -> float:
+        """Bank busy time for a row-buffer hit (column access only)."""
+        return self.timing.tcl_s
+
+    def row_miss_service_s(self) -> float:
+        """Bank busy time for a row-buffer miss (precharge + activate + CAS)."""
+        t = self.timing
+        return t.trp_s + t.trcd_s + t.tcl_s
+
+    def mean_service_s(self, row_hit_rate: float) -> float:
+        """Mean bank service time for a given row-buffer hit rate."""
+        if not 0.0 <= row_hit_rate <= 1.0:
+            raise ModelError(f"row hit rate {row_hit_rate} outside [0, 1]")
+        hit = self.row_hit_service_s()
+        miss = self.row_miss_service_s()
+        return row_hit_rate * hit + (1.0 - row_hit_rate) * miss
+
+    def activation_throttle_factor(
+        self, activation_rate_per_s: float
+    ) -> float:
+        """Service inflation from the tFAW four-activation window.
+
+        DDR3 allows at most four row activations per tFAW window per
+        rank.  When the requested activation rate approaches that
+        limit, effective service stretches.  We model the inflation as
+        ``1 / (1 - rho_faw)`` with the ratio capped well below 1 so the
+        model degrades gracefully instead of diverging.
+        """
+        if activation_rate_per_s < 0:
+            raise ModelError("activation rate must be non-negative")
+        tfaw_s = self.timing.cycles_to_seconds(
+            self.timing.tfaw_cycles, self.reference_bus_hz
+        )
+        max_rate = 4.0 / tfaw_s
+        rho = min(activation_rate_per_s / max_rate, 0.9)
+        return 1.0 / (1.0 - rho) if rho > 0 else 1.0
+
+    def refresh_inflation_factor(self) -> float:
+        """Service inflation from periodic refresh (banks unavailable)."""
+        duty = self.timing.refresh_duty
+        return 1.0 / (1.0 - duty)
+
+    def effective_service_s(
+        self,
+        row_hit_rate: float,
+        activation_rate_per_s: float = 0.0,
+    ) -> float:
+        """Mean bank service including refresh and activation throttling."""
+        base = self.mean_service_s(row_hit_rate)
+        return (
+            base
+            * self.refresh_inflation_factor()
+            * self.activation_throttle_factor(activation_rate_per_s)
+        )

@@ -1,0 +1,193 @@
+"""DVFS ladders: discrete frequency/voltage operating points.
+
+The paper assumes per-core DVFS with 10 equally spaced frequencies in
+2.2-4.0 GHz and a proportional voltage range of 0.65-1.2 V (Sandy
+Bridge-like), and memory-bus DVFS from 800 MHz down to 200 MHz in 66 MHz
+steps (Section IV-A).  :class:`DVFSLadder` captures one such ladder and
+provides interpolation and quantisation helpers used by both the
+simulator (ground truth) and the governor (actuation).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DVFSLadder:
+    """An ordered set of (frequency, voltage) operating points.
+
+    Frequencies are strictly ascending, in Hz.  Voltages are
+    non-decreasing, in volts; for frequency-only scaling (e.g. the DDR3
+    bus and DRAM chips) all voltages are equal.
+    """
+
+    frequencies_hz: Tuple[float, ...]
+    voltages_v: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.frequencies_hz) < 2:
+            raise ConfigurationError("a DVFS ladder needs at least two levels")
+        if len(self.frequencies_hz) != len(self.voltages_v):
+            raise ConfigurationError(
+                "frequency and voltage lists must have the same length"
+            )
+        if any(f <= 0 for f in self.frequencies_hz):
+            raise ConfigurationError("frequencies must be positive")
+        if any(
+            b <= a
+            for a, b in zip(self.frequencies_hz, self.frequencies_hz[1:])
+        ):
+            raise ConfigurationError("frequencies must be strictly ascending")
+        if any(v <= 0 for v in self.voltages_v):
+            raise ConfigurationError("voltages must be positive")
+        if any(b < a for a, b in zip(self.voltages_v, self.voltages_v[1:])):
+            raise ConfigurationError("voltages must be non-decreasing")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def linear(
+        cls,
+        f_min_hz: float,
+        f_max_hz: float,
+        levels: int,
+        v_min: float,
+        v_max: float,
+    ) -> "DVFSLadder":
+        """Equally spaced frequencies with proportional voltage scaling."""
+        if levels < 2:
+            raise ConfigurationError("need at least two DVFS levels")
+        if not f_min_hz < f_max_hz:
+            raise ConfigurationError("f_min must be below f_max")
+        step = (f_max_hz - f_min_hz) / (levels - 1)
+        freqs = tuple(f_min_hz + i * step for i in range(levels))
+        vstep = (v_max - v_min) / (levels - 1)
+        volts = tuple(v_min + i * vstep for i in range(levels))
+        return cls(freqs, volts)
+
+    @classmethod
+    def from_step(
+        cls,
+        f_max_hz: float,
+        f_min_hz: float,
+        step_hz: float,
+        voltage_v: float,
+    ) -> "DVFSLadder":
+        """Descend from ``f_max_hz`` in ``step_hz`` decrements (fixed voltage).
+
+        This matches the paper's memory-bus ladder: 800 MHz down toward
+        200 MHz in 66 MHz steps, which yields ten levels ending at
+        206 MHz.
+        """
+        if step_hz <= 0:
+            raise ConfigurationError("step must be positive")
+        freqs = []
+        f = f_max_hz
+        while f >= f_min_hz:
+            freqs.append(f)
+            f -= step_hz
+        if len(freqs) < 2:
+            raise ConfigurationError("ladder would have fewer than two levels")
+        freqs.reverse()
+        return cls(tuple(freqs), tuple(voltage_v for _ in freqs))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of discrete operating points."""
+        return len(self.frequencies_hz)
+
+    @property
+    def f_min_hz(self) -> float:
+        """Lowest frequency on the ladder."""
+        return self.frequencies_hz[0]
+
+    @property
+    def f_max_hz(self) -> float:
+        """Highest frequency on the ladder."""
+        return self.frequencies_hz[-1]
+
+    @property
+    def v_max(self) -> float:
+        """Voltage at the highest frequency."""
+        return self.voltages_v[-1]
+
+    def ratio(self, frequency_hz: float) -> float:
+        """``frequency_hz`` normalised to the ladder maximum."""
+        return frequency_hz / self.f_max_hz
+
+    # ------------------------------------------------------------------
+    # Interpolation / quantisation
+    # ------------------------------------------------------------------
+    def voltage_at(self, frequency_hz: float) -> float:
+        """Voltage for an arbitrary frequency, linearly interpolated.
+
+        Frequencies outside the ladder range are clamped to the end
+        points, mirroring how a real voltage regulator saturates.
+        """
+        freqs = self.frequencies_hz
+        if frequency_hz <= freqs[0]:
+            return self.voltages_v[0]
+        if frequency_hz >= freqs[-1]:
+            return self.voltages_v[-1]
+        hi = bisect.bisect_right(freqs, frequency_hz)
+        lo = hi - 1
+        span = freqs[hi] - freqs[lo]
+        frac = (frequency_hz - freqs[lo]) / span
+        return self.voltages_v[lo] + frac * (self.voltages_v[hi] - self.voltages_v[lo])
+
+    def nearest_level(self, frequency_hz: float) -> int:
+        """Index of the ladder level closest to ``frequency_hz``."""
+        freqs = self.frequencies_hz
+        hi = bisect.bisect_left(freqs, frequency_hz)
+        if hi == 0:
+            return 0
+        if hi >= len(freqs):
+            return len(freqs) - 1
+        if frequency_hz - freqs[hi - 1] <= freqs[hi] - frequency_hz:
+            return hi - 1
+        return hi
+
+    def quantize(self, frequency_hz: float) -> float:
+        """Snap an arbitrary frequency to the nearest ladder frequency."""
+        return self.frequencies_hz[self.nearest_level(frequency_hz)]
+
+    def quantize_ratio(self, ratio: float) -> float:
+        """Snap a normalised frequency (f/f_max) to the nearest level."""
+        return self.quantize(ratio * self.f_max_hz)
+
+    def index_of(self, frequency_hz: float, rel_tol: float = 1e-9) -> int:
+        """Exact level index for a frequency that lies on the ladder.
+
+        Raises :class:`ConfigurationError` when the frequency is not a
+        ladder level, which catches actuation bugs early.
+        """
+        idx = self.nearest_level(frequency_hz)
+        level = self.frequencies_hz[idx]
+        if abs(level - frequency_hz) > rel_tol * max(level, frequency_hz):
+            raise ConfigurationError(
+                f"{frequency_hz:.6g} Hz is not a ladder level "
+                f"(nearest is {level:.6g} Hz)"
+            )
+        return idx
+
+    def clamp(self, frequency_hz: float) -> float:
+        """Clamp an arbitrary frequency into the ladder's range."""
+        return min(max(frequency_hz, self.f_min_hz), self.f_max_hz)
+
+
+def scaling_factor_candidates(ladder: DVFSLadder) -> Sequence[float]:
+    """Normalised frequency ratios f/f_max for every ladder level.
+
+    These are the ``M`` candidate scaling factors Algorithm 1 searches
+    (ascending frequency ⇒ ascending ratio).
+    """
+    return [f / ladder.f_max_hz for f in ladder.frequencies_hz]

@@ -1,0 +1,107 @@
+"""Persistence for run results.
+
+Full-scale runs (100M-instruction quotas, 64-core configs) take real
+time; persisting their :class:`repro.sim.server.RunResult` lets the
+metrics layer re-analyse them without re-simulation.  The format is
+plain JSON — stable, diffable, and loadable without this package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.sim.server import EpochRecord, RunResult
+
+#: Format version written into every file; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Lossless plain-data representation of a run result."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "policy_name": result.policy_name,
+        "workload_name": result.workload_name,
+        "config_name": result.config_name,
+        "budget_fraction": result.budget_fraction,
+        "budget_watts": result.budget_watts,
+        "peak_power_w": result.peak_power_w,
+        "app_names": list(result.app_names),
+        "elapsed_s": result.elapsed_s,
+        "instructions": (
+            [float(v) for v in result.instructions]
+            if result.instructions is not None
+            else None
+        ),
+        "epochs": [
+            {
+                "index": e.index,
+                "start_time_s": e.start_time_s,
+                "duration_s": e.duration_s,
+                "core_frequencies_hz": list(e.core_frequencies_hz),
+                "bus_frequency_hz": e.bus_frequency_hz,
+                "total_power_w": e.total_power_w,
+                "cpu_power_w": e.cpu_power_w,
+                "memory_power_w": e.memory_power_w,
+                "per_core_ips": list(e.per_core_ips),
+                "decision_time_s": e.decision_time_s,
+                "budget_watts": e.budget_watts,
+            }
+            for e in result.epochs
+        ],
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported run-result format version {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    result = RunResult(
+        policy_name=data["policy_name"],
+        workload_name=data["workload_name"],
+        config_name=data["config_name"],
+        budget_fraction=data["budget_fraction"],
+        budget_watts=data["budget_watts"],
+        peak_power_w=data["peak_power_w"],
+        app_names=tuple(data["app_names"]),
+    )
+    result.elapsed_s = data["elapsed_s"]
+    if data["instructions"] is not None:
+        result.instructions = np.array(data["instructions"], dtype=float)
+    for e in data["epochs"]:
+        result.epochs.append(
+            EpochRecord(
+                index=e["index"],
+                start_time_s=e["start_time_s"],
+                duration_s=e["duration_s"],
+                core_frequencies_hz=tuple(e["core_frequencies_hz"]),
+                bus_frequency_hz=e["bus_frequency_hz"],
+                total_power_w=e["total_power_w"],
+                cpu_power_w=e["cpu_power_w"],
+                memory_power_w=e["memory_power_w"],
+                per_core_ips=tuple(e["per_core_ips"]),
+                decision_time_s=e["decision_time_s"],
+                budget_watts=e["budget_watts"],
+            )
+        )
+    return result
+
+
+def save_run_result(result: RunResult, path: str) -> None:
+    """Write a run result as JSON."""
+    with open(path, "w") as handle:
+        json.dump(run_result_to_dict(result), handle, indent=1)
+
+
+def load_run_result(path: str) -> RunResult:
+    """Read a run result written by :func:`save_run_result`."""
+    with open(path) as handle:
+        return run_result_from_dict(json.load(handle))

@@ -1,0 +1,795 @@
+"""Epoch-level many-core server simulator.
+
+This is the testbed substitute for the paper's cycle-accurate
+infrastructure.  Each epoch (default 5 ms):
+
+1. a 300 µs **profiling window** runs at the previous epoch's
+   frequencies; the simulator solves the closed queueing network for
+   that operating point and synthesises performance counters (with
+   sampling noise) — exactly the inputs the paper's OS collects;
+2. the **policy** (FastCap or a baseline) decides new per-core and
+   memory frequencies from those counters;
+3. frequencies transition (cores pause briefly; memory halts), and the
+   **remainder of the epoch** runs at the new operating point;
+4. instruction progress, power draw, and per-epoch records accumulate.
+
+A run ends when the slowest application has retired its instruction
+quota (the paper's 100M-instruction convention) or when ``max_epochs``
+elapses (used by the time-series figures).
+
+Ground-truth performance comes from the AMVA solver over the
+transfer-blocking network (:mod:`repro.queueing`); ground-truth power
+from :mod:`repro.sim.cpu_power` and :mod:`repro.sim.dram_power`.  The
+policy sees only :class:`repro.sim.counters.EpochCounters` — never the
+ground-truth models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.queueing.mva import MVASolution, solve_mva
+from repro.queueing.network import (
+    BackgroundFlow,
+    ControllerSpec,
+    JobClassSpec,
+    QueueingNetwork,
+    zipf_bank_probs,
+)
+from repro.sim import cpu_power, dram_power
+from repro.sim.config import SystemConfig
+from repro.sim.counters import ControllerCounters, CoreCounters, EpochCounters
+from repro.sim.dram_timing import BankServiceModel
+from repro.workloads.cache_sharing import effective_mpki, effective_wpki
+from repro.workloads.mixes import Workload
+
+
+@dataclass(frozen=True)
+class FrequencySettings:
+    """A policy's actuation decision for one epoch."""
+
+    core_frequencies_hz: Tuple[float, ...]
+    bus_frequency_hz: float
+
+    @classmethod
+    def all_max(cls, config: SystemConfig) -> "FrequencySettings":
+        return cls(
+            tuple(config.core_dvfs.f_max_hz for _ in range(config.n_cores)),
+            config.mem_dvfs.f_max_hz,
+        )
+
+    @classmethod
+    def all_min(cls, config: SystemConfig) -> "FrequencySettings":
+        return cls(
+            tuple(config.core_dvfs.f_min_hz for _ in range(config.n_cores)),
+            config.mem_dvfs.f_min_hz,
+        )
+
+    def quantized(self, config: SystemConfig) -> "FrequencySettings":
+        """Snap every frequency to its ladder."""
+        return FrequencySettings(
+            tuple(config.core_dvfs.quantize(f) for f in self.core_frequencies_hz),
+            config.mem_dvfs.quantize(self.bus_frequency_hz),
+        )
+
+
+@dataclass(frozen=True)
+class SystemView:
+    """Static system knowledge available to an OS-level policy.
+
+    This is the spec-sheet + boot-time-measurement information the
+    paper assumes (ladders, topology, statically measured background
+    power) — not the simulator's ground-truth models.
+    """
+
+    config: SystemConfig
+    budget_fraction: float
+    budget_watts: float
+    #: Boot-time estimate of per-core leakage (W per core).
+    core_static_estimate_w: float
+    #: Boot-time estimate of non-bus-scaling memory power (all ctrls).
+    memory_static_estimate_w: float
+    #: Everything else that never varies (disks, NICs, fans...).
+    other_static_estimate_w: float
+
+    @property
+    def n_cores(self) -> int:
+        return self.config.n_cores
+
+    @property
+    def total_static_estimate_w(self) -> float:
+        """The model's P_s: all frequency-independent power."""
+        return (
+            self.n_cores * self.core_static_estimate_w
+            + self.memory_static_estimate_w
+            + self.other_static_estimate_w
+        )
+
+    def bus_transfer_candidates_s(self) -> Tuple[float, ...]:
+        """The M candidate bus transfer times, ascending (fast → slow
+        is descending frequency; this list ascends in transfer time)."""
+        return tuple(
+            self.config.bus_transfer_s(f)
+            for f in reversed(self.config.mem_dvfs.frequencies_hz)
+        )
+
+
+class CappingPolicy(Protocol):
+    """Interface every power-capping policy implements."""
+
+    name: str
+
+    def initialize(self, view: SystemView) -> None:
+        """Called once before the run starts."""
+
+    def decide(self, counters: EpochCounters) -> FrequencySettings:
+        """Map one epoch's counters to the next frequency settings."""
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Everything measured during one epoch (ground truth, no noise)."""
+
+    index: int
+    start_time_s: float
+    duration_s: float
+    core_frequencies_hz: Tuple[float, ...]
+    bus_frequency_hz: float
+    total_power_w: float
+    cpu_power_w: float
+    memory_power_w: float
+    per_core_ips: Tuple[float, ...]
+    decision_time_s: float
+    budget_watts: float
+
+    @property
+    def violation(self) -> bool:
+        return self.total_power_w > self.budget_watts * 1.001
+
+    @property
+    def power_fraction_of_budget(self) -> float:
+        return self.total_power_w / self.budget_watts
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of one (policy, workload, budget) run."""
+
+    policy_name: str
+    workload_name: str
+    config_name: str
+    budget_fraction: float
+    budget_watts: float
+    peak_power_w: float
+    app_names: Tuple[str, ...]
+    epochs: List[EpochRecord] = field(default_factory=list)
+    instructions: Optional[np.ndarray] = None
+    elapsed_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+    def mean_power_w(self) -> float:
+        """Time-weighted mean full-system power over the run."""
+        total_energy = sum(e.total_power_w * e.duration_s for e in self.epochs)
+        total_time = sum(e.duration_s for e in self.epochs)
+        return total_energy / total_time if total_time > 0 else 0.0
+
+    def max_epoch_power_w(self) -> float:
+        return max(e.total_power_w for e in self.epochs)
+
+    def per_core_tpi_s(self) -> np.ndarray:
+        """Wall-clock time per instruction for each core over the run.
+
+        The normalized-performance metric of the figures is the ratio
+        of this against the max-frequency baseline run (equivalent to
+        CPI at the nominal clock).
+        """
+        assert self.instructions is not None
+        return self.elapsed_s / np.maximum(self.instructions, 1.0)
+
+    def mean_decision_time_s(self) -> float:
+        times = [e.decision_time_s for e in self.epochs if e.decision_time_s > 0]
+        return float(np.mean(times)) if times else 0.0
+
+    def power_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(epoch start times, total power) series for the time plots."""
+        t = np.array([e.start_time_s for e in self.epochs])
+        p = np.array([e.total_power_w for e in self.epochs])
+        return t, p
+
+
+@dataclass(frozen=True)
+class _OperatingPoint:
+    """Ground-truth steady state for one (settings, phase) pair."""
+
+    solution: MVASolution
+    per_core_ips: np.ndarray
+    per_core_activity: np.ndarray
+    per_core_power_w: np.ndarray
+    memory_power_w: float
+    total_power_w: float
+    row_hit_rate: float
+    bank_service_s: np.ndarray  # per controller
+    inst_per_blocking_miss: np.ndarray
+
+
+class ServerSimulator:
+    """Simulates one workload on one system configuration.
+
+    ``engine`` selects the performance back end: ``"mva"`` (default)
+    solves the queueing network analytically each epoch; ``"eventsim"``
+    replays a short discrete-event window of the same network and uses
+    its *measured* throughputs/queues instead — two orders of magnitude
+    slower, used to validate that capping conclusions do not depend on
+    the AMVA approximation (see the validation tests and ablations).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: Workload,
+        seed: int = 0,
+        engine: str = "mva",
+        eventsim_window_s: float = 40e-6,
+    ) -> None:
+        if engine not in ("mva", "eventsim"):
+            raise ConfigurationError(f"unknown engine {engine!r}")
+        self.config = config
+        self.workload = workload
+        self.engine = engine
+        self._eventsim_window_s = eventsim_window_s
+        self._rng = np.random.default_rng(seed)
+        self._apps = workload.instantiate(config.n_cores)
+        self._pressure = workload.pressure()
+        self._bank_model = BankServiceModel(
+            timing=config.dram_timing,
+            reference_bus_hz=config.mem_dvfs.f_max_hz,
+        )
+        self._routing = self._build_routing()
+        self._visit_probs = self._controller_visits()
+        # Feedback state for the background-traffic fixed point.
+        self._ips_estimate = np.array(
+            [config.core_dvfs.f_max_hz / a.cpi_exe for a in self._apps]
+        )
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+    def _build_routing(self) -> np.ndarray:
+        """Per-core routing over all banks (controllers concatenated)."""
+        topo = self.config.memory
+        n_ctrl = topo.n_controllers
+        banks_per = topo.banks_per_controller
+        n = self.config.n_cores
+        routing = np.zeros((n, n_ctrl * banks_per))
+        for i, app in enumerate(self._apps):
+            within = np.asarray(
+                zipf_bank_probs(banks_per, app.bank_skew, shift=i), dtype=float
+            )
+            weights = self._controller_weights(i)
+            for k in range(n_ctrl):
+                routing[i, k * banks_per : (k + 1) * banks_per] = weights[k] * within
+        return routing
+
+    def _controller_weights(self, core_index: int) -> np.ndarray:
+        """Probability of core ``core_index`` using each controller."""
+        topo = self.config.memory
+        k = topo.n_controllers
+        if k == 1:
+            return np.ones(1)
+        skew = topo.controller_skew
+        home = core_index % k
+        weights = np.full(k, (1.0 - skew) / k)
+        weights[home] += skew
+        return weights
+
+    def _controller_visits(self) -> np.ndarray:
+        return np.vstack(
+            [self._controller_weights(i) for i in range(self.config.n_cores)]
+        )
+
+    # ------------------------------------------------------------------
+    # Per-phase behaviour
+    # ------------------------------------------------------------------
+    def _phase_parameters(
+        self, instructions_retired: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Effective (mpki, wpki, cpi_exe, row_hit) per core right now."""
+        mpki = np.empty(self.config.n_cores)
+        wpki = np.empty(self.config.n_cores)
+        cpi = np.empty(self.config.n_cores)
+        row = np.empty(self.config.n_cores)
+        for i, app in enumerate(self._apps):
+            done = float(instructions_retired[i])
+            mpki[i] = effective_mpki(app, self._pressure, done)
+            wpki[i] = effective_wpki(app, self._pressure, done)
+            cpi[i] = app.cpi_exe_at(done)
+            row[i] = app.row_hit_rate_at(done)
+        return mpki, wpki, cpi, row
+
+    # ------------------------------------------------------------------
+    # Operating-point solve (ground truth)
+    # ------------------------------------------------------------------
+    def solve_operating_point(
+        self,
+        settings: FrequencySettings,
+        instructions_retired: np.ndarray,
+        fixed_point_iterations: int = 3,
+    ) -> _OperatingPoint:
+        """Steady state at given frequencies and execution positions."""
+        cfg = self.config
+        n = cfg.n_cores
+        mpki, wpki, cpi_exe, row_hit = self._phase_parameters(instructions_retired)
+
+        base_blocking = cfg.ooo.blocking_fraction if cfg.ooo.enabled else 1.0
+        blocking_fraction = base_blocking
+
+        core_freqs = np.asarray(settings.core_frequencies_hz, dtype=float)
+        bus_freq = settings.bus_frequency_hz
+        s_b = cfg.bus_transfer_s(bus_freq)
+        cache_time = cfg.cache.l2_hit_time_s
+
+        topo = cfg.memory
+        banks_per = topo.banks_per_controller
+        n_ctrl = topo.n_controllers
+
+        ips = self._ips_estimate.copy()
+        solution: Optional[MVASolution] = None
+        row_hit_avg = float(np.mean(row_hit))
+        s_m = self._bank_model.effective_service_s(row_hit_avg)
+        blocking_mpki = mpki * blocking_fraction
+        inst_per_miss = 1000.0 / np.maximum(blocking_mpki, 1e-9)
+        think = inst_per_miss * cpi_exe / core_freqs
+        warm_start = np.minimum(
+            ips * blocking_mpki / 1000.0, 1.0 / (think + cache_time + s_m)
+        )
+
+        # OoO needs an extra pass or two for the window-backpressure
+        # feedback below to settle.
+        iterations = max(fixed_point_iterations, 1)
+        if cfg.ooo.enabled:
+            iterations = max(iterations, 4)
+
+        for _ in range(iterations):
+            # Out-of-order window backpressure: the instruction window
+            # can only hide misses while the memory keeps up.  As the
+            # bus approaches saturation the window fills and previously
+            # hidden misses become core stalls — the effective blocking
+            # fraction rises toward 1.  Without this, "non-blocking"
+            # traffic would be an open flow that can saturate the bus
+            # with no flow control, which no real core does.
+            if cfg.ooo.enabled and solution is not None:
+                rho = float(np.max(solution.bus_utilization))
+                pressure = max(0.0, (rho - 0.6) / 0.4) ** 2
+                blocking_fraction = min(
+                    base_blocking + (1.0 - base_blocking) * pressure, 1.0
+                )
+            blocking_mpki = mpki * blocking_fraction
+            inst_per_miss = 1000.0 / np.maximum(blocking_mpki, 1e-9)
+            think = inst_per_miss * cpi_exe / core_freqs
+
+            # Arrival-weighted row-buffer hit rate and bank service.
+            miss_rates = ips * mpki / 1000.0
+            total_rate = miss_rates.sum()
+            if total_rate > 0:
+                row_hit_avg = float((miss_rates * row_hit).sum() / total_rate)
+            activation_rate = (
+                total_rate * (1.0 - row_hit_avg) / max(banks_per * n_ctrl, 1)
+            )
+            s_m = self._bank_model.effective_service_s(
+                row_hit_avg, activation_rate
+            )
+
+            # Background traffic: writebacks plus OoO non-blocking misses.
+            wb_rates = ips * wpki / 1000.0
+            nonblocking = ips * mpki * (1.0 - blocking_fraction) / 1000.0
+            bg_per_core = wb_rates + nonblocking
+            bg_per_bank = bg_per_core @ self._routing
+
+            classes = tuple(
+                JobClassSpec(
+                    name=self._apps[i].name,
+                    think_time_s=float(think[i]),
+                    cache_time_s=cache_time,
+                    bank_probs=tuple(self._routing[i]),
+                )
+                for i in range(n)
+            )
+            controllers = tuple(
+                ControllerSpec(
+                    bank_service_s=tuple(s_m for _ in range(banks_per)),
+                    bus_transfer_s=s_b,
+                )
+                for _ in range(n_ctrl)
+            )
+            background = tuple(
+                BackgroundFlow(bank_index=b, rate_per_s=float(r))
+                for b, r in enumerate(bg_per_bank)
+                if r > 0
+            )
+            network = QueueingNetwork(
+                classes=classes, controllers=controllers, background=background
+            )
+            # 1e-8 relative tolerance is far below the 1% counter
+            # noise; the default 1e-10 would just burn iterations.
+            solution = solve_mva(
+                network, initial_throughput=warm_start, tolerance=1e-8
+            )
+            warm_start = solution.throughput_per_s
+            # Damp the IPS feedback: background rates and the OoO
+            # blocking fraction both derive from it, and an undamped
+            # update can cycle at saturated operating points.
+            ips = 0.5 * ips + 0.5 * solution.throughput_per_s * inst_per_miss
+
+        assert solution is not None
+
+        if self.engine == "eventsim":
+            solution = self._measure_with_eventsim(
+                network, solution, think + cache_time
+            )
+
+        # Accounting uses the final converged solution, not the damped
+        # feedback value.
+        ips = solution.throughput_per_s * inst_per_miss
+        self._ips_estimate = ips
+
+        # --- Ground-truth power ---------------------------------------
+        activity = think / solution.turnaround_s
+        core_powers = np.array(
+            [
+                cpu_power.core_power_w(
+                    cfg.core_dvfs,
+                    cfg.power,
+                    float(core_freqs[i]),
+                    float(min(activity[i], 1.0)),
+                    self._apps[i].intensity,
+                )
+                for i in range(n)
+            ]
+        )
+        mem_power = 0.0
+        bank_service_per_ctrl = np.full(n_ctrl, s_m)
+        for k in range(n_ctrl):
+            bank_slice = slice(k * banks_per, (k + 1) * banks_per)
+            mem_power += dram_power.memory_subsystem_power_w(
+                topology=topo,
+                currents=cfg.dram_currents,
+                timing=cfg.dram_timing,
+                calibration=cfg.power,
+                mem_ladder=cfg.mem_dvfs,
+                bus_frequency_hz=bus_freq,
+                access_rate_per_s=float(solution.controller_arrival_per_s[k]),
+                row_hit_rate=row_hit_avg,
+                bank_utilization=float(
+                    np.mean(solution.bank_utilization[bank_slice])
+                ),
+                bus_utilization=float(solution.bus_utilization[k]),
+            )
+        total = float(core_powers.sum() + mem_power + cfg.power.other_static_w)
+
+        return _OperatingPoint(
+            solution=solution,
+            per_core_ips=ips,
+            per_core_activity=np.minimum(activity, 1.0),
+            per_core_power_w=core_powers,
+            memory_power_w=mem_power,
+            total_power_w=total,
+            row_hit_rate=row_hit_avg,
+            bank_service_s=bank_service_per_ctrl,
+            inst_per_blocking_miss=inst_per_miss,
+        )
+
+    # ------------------------------------------------------------------
+    # Event-driven measurement overlay (engine="eventsim")
+    # ------------------------------------------------------------------
+    def _measure_with_eventsim(
+        self,
+        network: QueueingNetwork,
+        analytic: MVASolution,
+        think_plus_cache: np.ndarray,
+    ) -> MVASolution:
+        """Replace the analytic estimates with event-driven measurements.
+
+        Runs the final network of the fixed point through the
+        discrete-event simulator for a short window and overlays the
+        measured throughputs, response times and utilisations onto the
+        solution object.  Quantities the event simulator does not
+        export per-class/per-bank (controller responses, bank queues)
+        are rescaled from the analytic profile by the measured ratio.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.queueing.eventsim import simulate_network
+
+        window = self._eventsim_window_s
+        measured = simulate_network(
+            network,
+            horizon_s=window,
+            warmup_s=0.25 * window,
+            seed=int(self._rng.integers(2**31)),
+        )
+        throughput = np.where(
+            measured.completions > 0,
+            measured.throughput_per_s,
+            analytic.throughput_per_s,
+        )
+        response = np.where(
+            np.isfinite(measured.memory_response_s),
+            measured.memory_response_s,
+            analytic.memory_response_s,
+        )
+        ratio_num = float(np.nanmean(response))
+        ratio_den = float(np.mean(analytic.memory_response_s))
+        response_ratio = ratio_num / ratio_den if ratio_den > 0 else 1.0
+        return dc_replace(
+            analytic,
+            throughput_per_s=throughput,
+            memory_response_s=response,
+            turnaround_s=think_plus_cache + response,
+            bank_utilization=measured.bank_utilization,
+            bus_utilization=np.minimum(measured.bus_utilization, 0.999),
+            bank_queue=analytic.bank_queue * response_ratio,
+            controller_response_s=analytic.controller_response_s
+            * response_ratio,
+        )
+
+    # ------------------------------------------------------------------
+    # Counter synthesis
+    # ------------------------------------------------------------------
+    def _noisy(self, value: float, sigma: float) -> float:
+        if sigma <= 0:
+            return value
+        return float(value * (1.0 + self._rng.normal(0.0, sigma)))
+
+    def synthesize_counters(
+        self,
+        epoch_index: int,
+        op: _OperatingPoint,
+        settings: FrequencySettings,
+    ) -> EpochCounters:
+        """Build the noisy profiling-window sample a real OS would read."""
+        cfg = self.config
+        window = cfg.epoch.profiling_s
+        c_sig = cfg.noise.counter_rel_sigma
+        p_sig = cfg.noise.power_rel_sigma
+        sol = op.solution
+        s_b = cfg.bus_transfer_s(settings.bus_frequency_hz)
+        topo = cfg.memory
+        banks_per = topo.banks_per_controller
+
+        cores = []
+        for i in range(cfg.n_cores):
+            ips = float(op.per_core_ips[i])
+            miss_rate = float(sol.throughput_per_s[i])
+            think = float(
+                op.inst_per_blocking_miss[i]
+                * self._apps[i].cpi_exe_at(0.0)  # busy time uses exec CPI
+            )
+            cores.append(
+                CoreCounters(
+                    instructions=max(self._noisy(ips * window, c_sig), 1.0),
+                    llc_misses=max(self._noisy(miss_rate * window, c_sig), 1e-6),
+                    busy_time_s=max(
+                        self._noisy(
+                            float(op.per_core_activity[i]) * window, c_sig
+                        ),
+                        1e-12,
+                    ),
+                    window_s=window,
+                    cache_time_s=max(
+                        self._noisy(cfg.cache.l2_hit_time_s, c_sig), 1e-12
+                    ),
+                    frequency_hz=float(settings.core_frequencies_hz[i]),
+                    power_w=max(
+                        self._noisy(float(op.per_core_power_w[i]), p_sig), 1e-6
+                    ),
+                    memory_response_s=max(
+                        self._noisy(float(sol.memory_response_s[i]), c_sig),
+                        1e-12,
+                    ),
+                    controller_visits=tuple(self._visit_probs[i]),
+                )
+            )
+
+        controllers = []
+        x = sol.throughput_per_s
+        for k in range(len(op.bank_service_s)):
+            bank_slice = slice(k * banks_per, (k + 1) * banks_per)
+            # Arrival-weighted mean response at this controller.
+            visit_weights = x * self._visit_probs[:, k]
+            wsum = float(visit_weights.sum())
+            if wsum > 0:
+                r_mean = float(
+                    (visit_weights * sol.controller_response_s[:, k]).sum() / wsum
+                )
+            else:
+                r_mean = float(op.bank_service_s[k] + s_b)
+            # Paper's Q: queue incl. the arriving request, averaged over
+            # banks (arrival-weighted, excluding the arrival's own mean
+            # contribution via the (N-1)/N factor).
+            n_eff = max(cfg.n_cores, 2)
+            queue_avg = float(np.mean(sol.bank_queue[bank_slice]))
+            q = 1.0 + queue_avg * (n_eff - 1) / n_eff
+            s_m = float(op.bank_service_s[k])
+            # Paper's U: bus backlog per departure, chosen so that
+            # R = Q (s_m + U s_b) is exact at the current operating
+            # point — this is what the MemScale counters measure.
+            u = (r_mean / q - s_m) / s_b
+            u = min(max(u, 1.0), float(cfg.n_cores))
+            controllers.append(
+                ControllerCounters(
+                    q=max(self._noisy(q, c_sig), 1.0),
+                    u=max(self._noisy(u, c_sig), 1.0),
+                    bank_service_s=max(self._noisy(s_m, c_sig), 1e-12),
+                    bus_utilization=float(
+                        min(max(self._noisy(sol.bus_utilization[k], c_sig), 0.0), 1.0)
+                    ),
+                    arrival_rate_per_s=max(
+                        self._noisy(float(sol.controller_arrival_per_s[k]), c_sig),
+                        0.0,
+                    ),
+                )
+            )
+
+        return EpochCounters(
+            epoch_index=epoch_index,
+            cores=tuple(cores),
+            controllers=tuple(controllers),
+            memory_power_w=max(self._noisy(op.memory_power_w, p_sig), 0.0),
+            total_power_w=max(self._noisy(op.total_power_w, p_sig), 0.0),
+            bus_frequency_hz=settings.bus_frequency_hz,
+        )
+
+    # ------------------------------------------------------------------
+    # System view for policies
+    # ------------------------------------------------------------------
+    def system_view(self, budget_fraction: float) -> SystemView:
+        cfg = self.config
+        # Boot-time static measurements: idle memory background power
+        # and per-core leakage at a mid-range voltage.
+        mc_width = cfg.memory.channels_per_controller / 4.0
+        idle_bg = (
+            dram_power.background_power_w(cfg.memory, cfg.dram_currents, 0.0)
+            + dram_power.refresh_power_w(
+                cfg.memory, cfg.dram_currents, cfg.dram_timing
+            )
+            + cfg.power.mc_static_w * mc_width
+        ) * cfg.memory.n_controllers
+        core_static = cpu_power.core_static_power_w(
+            cfg.core_dvfs, cfg.power, 0.9 * cfg.core_dvfs.f_max_hz
+        )
+        return SystemView(
+            config=cfg,
+            budget_fraction=budget_fraction,
+            budget_watts=cfg.budget_watts(budget_fraction),
+            core_static_estimate_w=core_static,
+            memory_static_estimate_w=idle_bg,
+            other_static_estimate_w=cfg.power.other_static_w,
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        policy: CappingPolicy,
+        budget_fraction: float,
+        instruction_quota: Optional[float] = 100e6,
+        max_epochs: Optional[int] = None,
+    ) -> RunResult:
+        """Run the workload under ``policy`` at the given budget."""
+        if instruction_quota is None and max_epochs is None:
+            raise ConfigurationError(
+                "need an instruction quota or an epoch cap to terminate"
+            )
+        cfg = self.config
+        view = self.system_view(budget_fraction)
+        policy.initialize(view)
+
+        settings = FrequencySettings.all_max(cfg)
+        instructions = np.zeros(cfg.n_cores)
+        now = 0.0
+        result = RunResult(
+            policy_name=policy.name,
+            workload_name=self.workload.name,
+            config_name=cfg.name,
+            budget_fraction=budget_fraction,
+            budget_watts=view.budget_watts,
+            peak_power_w=cfg.power.peak_power_w,
+            app_names=tuple(a.name for a in self._apps),
+        )
+
+        epoch_index = 0
+        while True:
+            if max_epochs is not None and epoch_index >= max_epochs:
+                break
+            if (
+                instruction_quota is not None
+                and float(instructions.min()) >= instruction_quota
+            ):
+                break
+
+            # --- profiling window at the old settings ----------------
+            op_profile = self.solve_operating_point(settings, instructions)
+            window = cfg.epoch.profiling_s
+            instructions = instructions + op_profile.per_core_ips * window
+            counters = self.synthesize_counters(epoch_index, op_profile, settings)
+
+            # --- decision ---------------------------------------------
+            t0 = time.perf_counter()
+            proposed = policy.decide(counters)
+            decision_time = time.perf_counter() - t0
+            new_settings = proposed.quantized(cfg)
+
+            # --- transition overhead ----------------------------------
+            transition = 0.0
+            if new_settings.core_frequencies_hz != settings.core_frequencies_hz:
+                transition = max(transition, cfg.epoch.core_transition_s)
+            if new_settings.bus_frequency_hz != settings.bus_frequency_hz:
+                transition = max(transition, cfg.epoch.memory_transition_s)
+
+            # --- main segment at the new settings ---------------------
+            main_span = cfg.epoch.epoch_s - window - transition
+            op_main = self.solve_operating_point(new_settings, instructions)
+            instructions = instructions + op_main.per_core_ips * main_span
+
+            # --- epoch accounting --------------------------------------
+            epoch_power = (
+                op_profile.total_power_w * window
+                + op_main.total_power_w * (main_span + transition)
+            ) / cfg.epoch.epoch_s
+            cpu_w = (
+                op_profile.per_core_power_w.sum() * window
+                + op_main.per_core_power_w.sum() * (main_span + transition)
+            ) / cfg.epoch.epoch_s
+            mem_w = (
+                op_profile.memory_power_w * window
+                + op_main.memory_power_w * (main_span + transition)
+            ) / cfg.epoch.epoch_s
+            result.epochs.append(
+                EpochRecord(
+                    index=epoch_index,
+                    start_time_s=now,
+                    duration_s=cfg.epoch.epoch_s,
+                    core_frequencies_hz=new_settings.core_frequencies_hz,
+                    bus_frequency_hz=new_settings.bus_frequency_hz,
+                    total_power_w=epoch_power,
+                    cpu_power_w=cpu_w,
+                    memory_power_w=mem_w,
+                    per_core_ips=tuple(float(v) for v in op_main.per_core_ips),
+                    decision_time_s=decision_time,
+                    budget_watts=view.budget_watts,
+                )
+            )
+
+            settings = new_settings
+            now += cfg.epoch.epoch_s
+            epoch_index += 1
+
+        result.instructions = instructions
+        result.elapsed_s = now
+        return result
+
+
+class MaxFrequencyPolicy:
+    """No capping: everything at maximum frequency (the baseline runs)."""
+
+    name = "max-freq"
+
+    def __init__(self) -> None:
+        self._view: Optional[SystemView] = None
+
+    def initialize(self, view: SystemView) -> None:
+        self._view = view
+
+    def decide(self, counters: EpochCounters) -> FrequencySettings:
+        assert self._view is not None, "initialize() must run first"
+        return FrequencySettings.all_max(self._view.config)

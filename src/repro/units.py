@@ -1,0 +1,45 @@
+"""Unit conventions and conversion constants.
+
+The whole package uses plain SI floats: seconds for time, hertz for
+frequency, watts for power, volts, amperes and joules.  These constants
+exist so call sites can say ``15 * NS`` instead of ``15e-9`` and stay
+readable next to the paper's tables.
+"""
+
+from __future__ import annotations
+
+# Time.
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# Frequency.
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# Electrical.
+MA = 1e-3
+
+# Data sizes (bytes).
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+#: DDR3 nominal supply voltage (JEDEC DDR3 SDRAM standard).
+DDR3_VDD = 1.5
+
+
+def hz_to_ghz(frequency_hz: float) -> float:
+    """Return ``frequency_hz`` expressed in GHz (for reporting)."""
+    return frequency_hz / GHZ
+
+
+def hz_to_mhz(frequency_hz: float) -> float:
+    """Return ``frequency_hz`` expressed in MHz (for reporting)."""
+    return frequency_hz / MHZ
+
+
+def seconds_to_us(duration_s: float) -> float:
+    """Return ``duration_s`` expressed in microseconds (for reporting)."""
+    return duration_s / US

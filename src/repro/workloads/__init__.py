@@ -1,0 +1,47 @@
+"""Synthetic SPEC 2000/2006-like workloads (paper Table III).
+
+The paper drives its simulator with 100M-instruction SimPoints of SPEC
+applications grouped into 16 mixes of four applications each (N/4
+copies per application).  Those traces are not redistributable, so this
+package substitutes *behavioural profiles*: per-application execution
+CPI, base L2 miss/writeback rates, DRAM row-buffer locality, bank
+access skew, switching intensity, and a multi-phase schedule.
+
+A shared-L2 contention model (:mod:`repro.workloads.cache_sharing`)
+maps base rates to effective in-mix rates; its coefficient and the
+per-application bases were fitted so that every Table III mix
+reproduces its published MPKI and WPKI (see
+:mod:`repro.workloads.calibration`).
+"""
+
+from repro.workloads.application import ApplicationProfile, PhaseSpec
+from repro.workloads.cache_sharing import effective_mpki, effective_wpki, mix_pressure
+from repro.workloads.generator import random_application, random_workload
+from repro.workloads.mixes import (
+    ALL_MIXES,
+    MIX_CLASSES,
+    Workload,
+    WorkloadClass,
+    get_workload,
+    workloads_in_class,
+)
+from repro.workloads.spec import SPEC_CATALOG, get_application, register_application
+
+__all__ = [
+    "ALL_MIXES",
+    "ApplicationProfile",
+    "MIX_CLASSES",
+    "PhaseSpec",
+    "SPEC_CATALOG",
+    "Workload",
+    "WorkloadClass",
+    "effective_mpki",
+    "effective_wpki",
+    "get_application",
+    "get_workload",
+    "mix_pressure",
+    "random_application",
+    "random_workload",
+    "register_application",
+    "workloads_in_class",
+]

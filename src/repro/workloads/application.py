@@ -1,0 +1,168 @@
+"""Application behaviour profiles.
+
+An :class:`ApplicationProfile` is everything the simulator needs to
+know about one application: how fast it executes when not stalled
+(``cpi_exe``), how often it misses the shared L2 (``base_mpki``), how
+write-heavy it is (``base_wpki``), its DRAM row-buffer locality, how
+skewed its bank accesses are, its switching intensity (power), and a
+cyclic phase schedule that modulates these over time.
+
+Rates are expressed per kilo-instruction, as in the paper's Table III;
+``base_*`` values are *contention-free* rates that
+:mod:`repro.workloads.cache_sharing` converts to effective in-mix
+rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of an application's execution.
+
+    Multipliers apply to the profile's base rates while the phase is
+    active; ``duration_instructions`` is how many instructions the
+    phase lasts before the schedule advances (cyclically).
+    """
+
+    duration_instructions: float
+    mpki_multiplier: float = 1.0
+    wpki_multiplier: float = 1.0
+    cpi_multiplier: float = 1.0
+    row_hit_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_instructions <= 0:
+            raise ConfigurationError("phase duration must be positive")
+        for name in (
+            "mpki_multiplier",
+            "wpki_multiplier",
+            "cpi_multiplier",
+            "row_hit_multiplier",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Static description of one application's behaviour."""
+
+    name: str
+    #: Execution CPI at max core frequency, excluding all memory stalls.
+    cpi_exe: float
+    #: Contention-free L2 misses per kilo-instruction.
+    base_mpki: float
+    #: Contention-free L2 writebacks per kilo-instruction.
+    base_wpki: float
+    #: DRAM row-buffer hit probability for this app's access stream.
+    row_hit_rate: float = 0.6
+    #: Zipf skew of the app's bank-access distribution (0 = uniform).
+    bank_skew: float = 0.5
+    #: Switching-intensity factor for core dynamic power (1.0 = nominal).
+    intensity: float = 1.0
+    #: Cyclic phase schedule; empty means a single steady phase.
+    phases: Tuple[PhaseSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.cpi_exe <= 0:
+            raise ConfigurationError(f"{self.name}: cpi_exe must be positive")
+        if self.base_mpki <= 0:
+            raise ConfigurationError(f"{self.name}: base_mpki must be positive")
+        if self.base_wpki < 0:
+            raise ConfigurationError(f"{self.name}: base_wpki must be non-negative")
+        if not 0.0 < self.row_hit_rate < 1.0:
+            raise ConfigurationError(f"{self.name}: row_hit_rate must be in (0, 1)")
+        if self.bank_skew < 0:
+            raise ConfigurationError(f"{self.name}: bank_skew must be non-negative")
+        if self.intensity <= 0:
+            raise ConfigurationError(f"{self.name}: intensity must be positive")
+
+    @property
+    def n_phases(self) -> int:
+        return max(len(self.phases), 1)
+
+    def phase_at(self, instructions_retired: float) -> PhaseSpec:
+        """Phase active after ``instructions_retired`` instructions.
+
+        The schedule cycles; an application with no explicit phases
+        gets an implicit steady phase of unit multipliers.
+        """
+        if not self.phases:
+            return _STEADY_PHASE
+        cycle = sum(p.duration_instructions for p in self.phases)
+        pos = instructions_retired % cycle
+        for phase in self.phases:
+            if pos < phase.duration_instructions:
+                return phase
+            pos -= phase.duration_instructions
+        return self.phases[-1]  # numeric edge: pos == cycle
+
+    # ------------------------------------------------------------------
+    # Effective (phase-modulated) behaviour
+    # ------------------------------------------------------------------
+    def mpki_at(self, instructions_retired: float) -> float:
+        """Contention-free MPKI in the phase active at this point."""
+        return self.base_mpki * self.phase_at(instructions_retired).mpki_multiplier
+
+    def wpki_at(self, instructions_retired: float) -> float:
+        """Contention-free WPKI in the phase active at this point."""
+        return self.base_wpki * self.phase_at(instructions_retired).wpki_multiplier
+
+    def cpi_exe_at(self, instructions_retired: float) -> float:
+        """Execution CPI in the phase active at this point."""
+        return self.cpi_exe * self.phase_at(instructions_retired).cpi_multiplier
+
+    def row_hit_rate_at(self, instructions_retired: float) -> float:
+        """Row-buffer hit rate in the phase active at this point."""
+        hit = self.row_hit_rate * self.phase_at(instructions_retired).row_hit_multiplier
+        return min(max(hit, 0.05), 0.95)
+
+
+_STEADY_PHASE = PhaseSpec(duration_instructions=float("inf"))
+
+
+def duration_weighted_means(
+    phases: Tuple[PhaseSpec, ...]
+) -> Tuple[float, float, float, float]:
+    """Duration-weighted mean of each multiplier across a schedule.
+
+    Returns ``(mpki, wpki, cpi, row_hit)`` means.  Schedules should be
+    mean-one so the cycle-average behaviour equals the profile's base
+    rates; :func:`normalize_phases` enforces that.
+    """
+    if not phases:
+        return (1.0, 1.0, 1.0, 1.0)
+    total = sum(p.duration_instructions for p in phases)
+    mpki = sum(p.duration_instructions * p.mpki_multiplier for p in phases) / total
+    wpki = sum(p.duration_instructions * p.wpki_multiplier for p in phases) / total
+    cpi = sum(p.duration_instructions * p.cpi_multiplier for p in phases) / total
+    row = sum(p.duration_instructions * p.row_hit_multiplier for p in phases) / total
+    return (mpki, wpki, cpi, row)
+
+
+def normalize_phases(phases: Tuple[PhaseSpec, ...]) -> Tuple[PhaseSpec, ...]:
+    """Rescale a schedule so every multiplier has duration-weighted mean 1.
+
+    This guarantees that an application's long-run average behaviour is
+    exactly its base rates, regardless of how dramatic its phases are —
+    which is what makes the Table III calibration phase-independent.
+    """
+    if not phases:
+        return phases
+    mean_mpki, mean_wpki, mean_cpi, mean_row = duration_weighted_means(phases)
+    return tuple(
+        PhaseSpec(
+            duration_instructions=p.duration_instructions,
+            mpki_multiplier=p.mpki_multiplier / mean_mpki,
+            wpki_multiplier=p.wpki_multiplier / mean_wpki,
+            cpi_multiplier=p.cpi_multiplier / mean_cpi,
+            row_hit_multiplier=p.row_hit_multiplier / mean_row,
+        )
+        for p in phases
+    )

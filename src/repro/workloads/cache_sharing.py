@@ -1,0 +1,67 @@
+"""Shared-L2 contention model.
+
+The paper's Table III reports *in-mix* MPKI/WPKI, which cannot be
+explained by per-application constants: equake, for example, must miss
+far more often inside the thrashing MEM1 mix than inside the gentle
+MIX3 mix.  The physical cause is LRU sharing of the 16 MB L2 — an
+application's effective cache share shrinks as its co-runners demand
+more, so its miss rate rises with total mix pressure.
+
+We model this with a first-order expansion around the contention-free
+point::
+
+    mpki_i(mix) = base_i * (1 + kappa * pressure(mix))
+    pressure(mix) = sum of the distinct member apps' base rates
+
+The coefficients ``kappa`` (one for misses, one for writebacks) and the
+per-app bases were jointly fitted against Table III (see
+:mod:`repro.workloads.calibration`); the resulting mix MPKIs match the
+table to within ~1%.
+
+The paper reports Table III at N = 16 with N/4 copies per app; the
+copy multiplicity is absorbed into ``kappa`` so that effective rates
+stay comparable across the 4/16/32/64-core studies (the paper likewise
+treats workload behaviour as fixed across core counts).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.application import ApplicationProfile
+from repro.workloads.spec import MPKI_CONTENTION_KAPPA, WPKI_CONTENTION_KAPPA
+
+
+def mix_pressure(profiles: Sequence[ApplicationProfile]) -> float:
+    """Total contention-free miss pressure of a mix's distinct members."""
+    seen = {}
+    for profile in profiles:
+        seen[profile.name] = profile.base_mpki
+    return sum(seen.values())
+
+
+def contention_multiplier(pressure: float, kappa: float) -> float:
+    """Miss-rate inflation at a given mix pressure."""
+    return 1.0 + kappa * pressure
+
+
+def effective_mpki(
+    profile: ApplicationProfile,
+    pressure: float,
+    instructions_retired: float = 0.0,
+) -> float:
+    """In-mix misses per kilo-instruction at a point in execution."""
+    return profile.mpki_at(instructions_retired) * contention_multiplier(
+        pressure, MPKI_CONTENTION_KAPPA
+    )
+
+
+def effective_wpki(
+    profile: ApplicationProfile,
+    pressure: float,
+    instructions_retired: float = 0.0,
+) -> float:
+    """In-mix writebacks per kilo-instruction at a point in execution."""
+    return profile.wpki_at(instructions_retired) * contention_multiplier(
+        pressure, WPKI_CONTENTION_KAPPA
+    )

@@ -1,0 +1,82 @@
+"""Random workload generation for stress testing.
+
+The Table III mixes cover the paper's evaluation; robustness testing
+wants workloads *outside* that set.  :func:`random_workload` samples
+four applications across the full behavioural envelope the simulator
+supports (MPKI over three orders of magnitude, write-heavy and
+read-only, streaming and irregular, steady and phase-heavy) and
+registers them so the standard run machinery works unchanged.
+
+Used by the property-style integration tests: FastCap must cap *any*
+valid workload, not just the calibrated sixteen.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.workloads.application import (
+    ApplicationProfile,
+    PhaseSpec,
+    normalize_phases,
+)
+from repro.workloads.mixes import Workload, WorkloadClass
+from repro.workloads.spec import register_application
+
+
+def random_application(
+    rng: np.random.Generator, name: str
+) -> ApplicationProfile:
+    """Sample one application across the supported behaviour envelope."""
+    # Log-uniform MPKI from deep-cache-resident to memory-thrashing.
+    mpki = float(10 ** rng.uniform(-1.3, 1.2))
+    wpki = float(mpki * rng.uniform(0.05, 0.8))
+    phases = []
+    for _ in range(int(rng.integers(1, 4))):
+        phases.append(
+            PhaseSpec(
+                duration_instructions=float(rng.uniform(5e6, 30e6)),
+                mpki_multiplier=float(rng.uniform(0.5, 1.8)),
+                wpki_multiplier=float(rng.uniform(0.6, 1.5)),
+                cpi_multiplier=float(rng.uniform(0.9, 1.15)),
+                row_hit_multiplier=float(rng.uniform(0.85, 1.15)),
+            )
+        )
+    return ApplicationProfile(
+        name=name,
+        cpi_exe=float(rng.uniform(0.7, 1.5)),
+        base_mpki=mpki,
+        base_wpki=max(wpki, 1e-3),
+        row_hit_rate=float(rng.uniform(0.3, 0.85)),
+        bank_skew=float(rng.uniform(0.0, 1.2)),
+        intensity=float(rng.uniform(0.8, 1.2)),
+        phases=normalize_phases(tuple(phases)),
+    )
+
+
+def random_workload(
+    seed: int,
+    name: Optional[str] = None,
+    workload_class: WorkloadClass = WorkloadClass.MIX,
+) -> Workload:
+    """Generate and register a four-application random workload.
+
+    Deterministic in ``seed``; application names carry the seed so
+    repeated generation does not collide.
+    """
+    rng = np.random.default_rng(seed)
+    label = name or f"RAND{seed}"
+    members = []
+    for i in range(4):
+        app = random_application(rng, f"{label.lower()}-app{i}")
+        register_application(app, replace=True)
+        members.append(app.name)
+    return Workload(
+        name=label,
+        workload_class=workload_class,
+        member_names=tuple(members),
+        table3_mpki=0.0,  # no published reference for generated mixes
+        table3_wpki=0.0,
+    )

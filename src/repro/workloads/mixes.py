@@ -1,0 +1,141 @@
+"""Table III workload mixes.
+
+Each :class:`Workload` names four applications; a run on ``N`` cores
+executes ``N/4`` copies of each (the paper's convention).  Workloads
+are grouped into the four classes of the evaluation: compute-intensive
+(ILP), balanced (MID), memory-intensive (MEM), and mixed (MIX).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.application import ApplicationProfile
+from repro.workloads.cache_sharing import mix_pressure
+from repro.workloads.spec import (
+    MPKI_CONTENTION_KAPPA as _MPKI_KAPPA,
+    WPKI_CONTENTION_KAPPA as _WPKI_KAPPA,
+    get_application,
+)
+
+
+class WorkloadClass(enum.Enum):
+    """The paper's workload taxonomy."""
+
+    ILP = "ILP"
+    MID = "MID"
+    MEM = "MEM"
+    MIX = "MIX"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named mix of four applications (Table III row)."""
+
+    name: str
+    workload_class: WorkloadClass
+    member_names: Tuple[str, str, str, str]
+    #: Published Table III values, for validation and reporting.
+    table3_mpki: float
+    table3_wpki: float
+
+    def members(self) -> Tuple[ApplicationProfile, ...]:
+        """Profiles of the four member applications."""
+        return tuple(get_application(n) for n in self.member_names)
+
+    def pressure(self) -> float:
+        """Shared-cache pressure of this mix (see cache_sharing)."""
+        return mix_pressure(self.members())
+
+    def instantiate(self, n_cores: int) -> List[ApplicationProfile]:
+        """Per-core application assignment: N/4 copies of each member.
+
+        Copies are interleaved (abcd abcd ...) so that any contiguous
+        group of cores is representative of the mix.
+        """
+        if n_cores % 4 != 0:
+            raise WorkloadError(
+                f"core count {n_cores} is not a multiple of 4; "
+                "Table III mixes run N/4 copies of 4 applications"
+            )
+        profiles = self.members()
+        return [profiles[i % 4] for i in range(n_cores)]
+
+    def average_mpki(self) -> float:
+        """Cycle-average in-mix MPKI (compare to ``table3_mpki``).
+
+        Phase schedules are mean-one, so the long-run average uses the
+        contention-adjusted base rates directly.
+        """
+        pressure = self.pressure()
+        members = self.members()
+        kappa_mult = 1.0 + _MPKI_KAPPA * pressure
+        return sum(m.base_mpki for m in members) * kappa_mult / len(members)
+
+    def average_wpki(self) -> float:
+        """Cycle-average in-mix WPKI (compare to ``table3_wpki``)."""
+        pressure = self.pressure()
+        members = self.members()
+        kappa_mult = 1.0 + _WPKI_KAPPA * pressure
+        return sum(m.base_wpki for m in members) * kappa_mult / len(members)
+
+
+def _w(
+    name: str,
+    cls: WorkloadClass,
+    members: str,
+    mpki: float,
+    wpki: float,
+) -> Workload:
+    parts = tuple(members.split())
+    if len(parts) != 4:
+        raise WorkloadError(f"workload {name} must have 4 members")
+    return Workload(name, cls, parts, mpki, wpki)
+
+
+#: The sixteen Table III mixes.
+ALL_MIXES: Dict[str, Workload] = {
+    w.name: w
+    for w in [
+        _w("ILP1", WorkloadClass.ILP, "vortex gcc sixtrack mesa", 0.37, 0.06),
+        _w("ILP2", WorkloadClass.ILP, "perlbmk crafty gzip eon", 0.16, 0.03),
+        _w("ILP3", WorkloadClass.ILP, "sixtrack mesa perlbmk crafty", 0.27, 0.07),
+        _w("ILP4", WorkloadClass.ILP, "vortex gcc gzip eon", 0.25, 0.04),
+        _w("MID1", WorkloadClass.MID, "ammp gap wupwise vpr", 1.76, 0.74),
+        _w("MID2", WorkloadClass.MID, "astar parser twolf facerec", 2.61, 0.89),
+        _w("MID3", WorkloadClass.MID, "apsi bzip2 ammp gap", 1.00, 0.60),
+        _w("MID4", WorkloadClass.MID, "wupwise vpr astar parser", 2.13, 0.90),
+        _w("MEM1", WorkloadClass.MEM, "swim applu galgel equake", 18.22, 7.92),
+        _w("MEM2", WorkloadClass.MEM, "art milc mgrid fma3d", 7.75, 2.53),
+        _w("MEM3", WorkloadClass.MEM, "fma3d mgrid galgel equake", 7.93, 2.55),
+        _w("MEM4", WorkloadClass.MEM, "swim applu sphinx3 lucas", 15.07, 7.31),
+        _w("MIX1", WorkloadClass.MIX, "applu hmmer gap gzip", 2.93, 2.56),
+        _w("MIX2", WorkloadClass.MIX, "milc gobmk facerec perlbmk", 2.55, 0.80),
+        _w("MIX3", WorkloadClass.MIX, "equake ammp sjeng crafty", 2.34, 0.39),
+        _w("MIX4", WorkloadClass.MIX, "swim ammp twolf sixtrack", 3.62, 1.20),
+    ]
+}
+
+#: Mixes grouped by class, in table order.
+MIX_CLASSES: Dict[WorkloadClass, Tuple[str, ...]] = {
+    cls: tuple(n for n, w in ALL_MIXES.items() if w.workload_class is cls)
+    for cls in WorkloadClass
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload mix by Table III name (e.g. ``"MEM3"``)."""
+    try:
+        return ALL_MIXES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(ALL_MIXES)}"
+        ) from None
+
+
+def workloads_in_class(cls: WorkloadClass) -> List[Workload]:
+    """All Table III workloads of one class, in table order."""
+    return [ALL_MIXES[name] for name in MIX_CLASSES[cls]]

@@ -1,0 +1,81 @@
+"""Shared fixtures: small, fast system configurations and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing.network import (
+    ControllerSpec,
+    JobClassSpec,
+    QueueingNetwork,
+    uniform_bank_probs,
+)
+from repro.sim.config import table2_config
+from repro.units import NS
+
+
+@pytest.fixture(scope="session")
+def config16():
+    """The default 16-core Table II preset (shared, frozen)."""
+    return table2_config(16)
+
+
+@pytest.fixture(scope="session")
+def config4():
+    """The 4-core preset used by the MaxBIPS comparisons."""
+    return table2_config(4)
+
+
+@pytest.fixture
+def small_network():
+    """A 4-class, 8-bank, single-controller network with mild load."""
+    n_banks = 8
+    classes = tuple(
+        JobClassSpec(
+            name=f"core{i}",
+            think_time_s=30 * NS,
+            cache_time_s=7.5 * NS,
+            bank_probs=uniform_bank_probs(n_banks),
+        )
+        for i in range(4)
+    )
+    controller = ControllerSpec(
+        bank_service_s=tuple(25 * NS for _ in range(n_banks)),
+        bus_transfer_s=5 * NS,
+    )
+    return QueueingNetwork(classes=classes, controllers=(controller,))
+
+
+def make_network(
+    n_classes: int = 4,
+    n_banks: int = 8,
+    think_ns: float = 30.0,
+    service_ns: float = 25.0,
+    bus_ns: float = 5.0,
+    n_controllers: int = 1,
+):
+    """Parametric network builder used across queueing tests."""
+    banks_per = n_banks // n_controllers
+    classes = tuple(
+        JobClassSpec(
+            name=f"core{i}",
+            think_time_s=think_ns * NS,
+            cache_time_s=7.5 * NS,
+            bank_probs=uniform_bank_probs(n_banks),
+        )
+        for i in range(n_classes)
+    )
+    controllers = tuple(
+        ControllerSpec(
+            bank_service_s=tuple(service_ns * NS for _ in range(banks_per)),
+            bus_transfer_s=bus_ns * NS,
+        )
+        for _ in range(n_controllers)
+    )
+    return QueueingNetwork(classes=classes, controllers=controllers)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,57 @@
+"""Factories for controller-side model inputs used across core tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import FastCapInputs
+from repro.core.power_fit import FittedPowerModel
+from repro.core.response_time import ResponseModel
+from repro.units import NS
+
+
+def make_inputs(
+    n_cores: int = 4,
+    z_min_ns=(50.0, 100.0, 20.0, 400.0),
+    budget_w: float = 30.0,
+    static_w: float = 10.0,
+    core_p_max: float = 4.0,
+    core_alpha: float = 2.5,
+    mem_p_max: float = 8.0,
+    mem_beta: float = 1.0,
+    q: float = 2.0,
+    u: float = 1.5,
+    s_m_ns: float = 25.0,
+    f_ratio_min: float = 0.55,
+    n_candidates: int = 10,
+    sb_min_ns: float = 1.25,
+    sb_max_ns: float = 5.0,
+) -> FastCapInputs:
+    """A single-controller FastCapInputs with sensible defaults."""
+    z_min = np.array(z_min_ns[:n_cores], dtype=float) * NS
+    response = ResponseModel(
+        q=np.array([q]),
+        u=np.array([u]),
+        s_m=np.array([s_m_ns * NS]),
+        visits=np.ones((n_cores, 1)),
+    )
+    sb_candidates = np.linspace(sb_min_ns, sb_max_ns, n_candidates) * NS
+    return FastCapInputs(
+        z_min=z_min,
+        z_max=z_min / f_ratio_min,
+        cache=np.full(n_cores, 7.5 * NS),
+        response=response,
+        core_p_max=np.full(n_cores, core_p_max),
+        core_alpha=np.full(n_cores, core_alpha),
+        memory_model=FittedPowerModel(mem_p_max, mem_beta),
+        static_power_w=static_w,
+        budget_w=budget_w,
+        sb_candidates=sb_candidates,
+        sb_min=sb_min_ns * NS,
+    )
+
+
+@pytest.fixture
+def default_inputs():
+    return make_inputs()

@@ -1,0 +1,93 @@
+"""Algorithm 1: binary search vs exhaustive oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import binary_search_sb, exhaustive_sb
+from repro.core.optimizer import solve_degradation
+
+from tests.core.conftest import make_inputs
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("budget", [14.0, 18.0, 24.0, 30.0, 60.0, 200.0])
+    def test_binary_matches_exhaustive(self, budget):
+        inputs = make_inputs(budget_w=budget)
+        binary = binary_search_sb(inputs)
+        oracle = exhaustive_sb(inputs)
+        assert binary.d == pytest.approx(oracle.d, rel=1e-6)
+        assert binary.sb_index == oracle.sb_index
+
+    def test_memory_bound_picks_fast_memory(self):
+        inputs = make_inputs(
+            z_min_ns=(10.0, 12.0, 9.0, 11.0), budget_w=60.0, q=3.0, u=2.0
+        )
+        decision = binary_search_sb(inputs)
+        assert decision.sb_index == 0  # fastest bus
+
+    def test_compute_bound_picks_slow_memory(self):
+        inputs = make_inputs(
+            z_min_ns=(800.0, 900.0, 850.0, 950.0), budget_w=20.0, mem_p_max=10.0
+        )
+        decision = binary_search_sb(inputs)
+        assert decision.sb_index == inputs.n_candidates - 1  # slowest bus
+
+    def test_binary_uses_fewer_evaluations(self):
+        inputs = make_inputs(n_candidates=10)
+        binary = binary_search_sb(inputs)
+        oracle = exhaustive_sb(inputs)
+        assert oracle.evaluations == 10
+        assert binary.evaluations <= 8  # ~2 log2(10) with neighbour probes
+
+    def test_single_candidate(self):
+        inputs = make_inputs(n_candidates=1)
+        decision = binary_search_sb(inputs)
+        assert decision.sb_index == 0
+
+    def test_decision_carries_solution_fields(self, default_inputs):
+        decision = binary_search_sb(default_inputs)
+        sol = solve_degradation(default_inputs, decision.s_b)
+        assert decision.d == pytest.approx(sol.d)
+        assert decision.predicted_power_w == pytest.approx(sol.power_w)
+        np.testing.assert_allclose(decision.z, sol.z)
+
+
+class TestInfeasible:
+    def test_infeasible_everywhere_minimizes_power(self):
+        inputs = make_inputs(budget_w=10.5, static_w=10.0, mem_p_max=8.0)
+        decision = binary_search_sb(inputs)
+        assert not decision.feasible
+        oracle = exhaustive_sb(inputs)
+        assert decision.predicted_power_w == pytest.approx(
+            oracle.predicted_power_w, rel=1e-6
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    budget=st.floats(min_value=12.0, max_value=120.0),
+    z0=st.floats(min_value=5.0, max_value=2000.0),
+    z1=st.floats(min_value=5.0, max_value=2000.0),
+    z2=st.floats(min_value=5.0, max_value=2000.0),
+    z3=st.floats(min_value=5.0, max_value=2000.0),
+    q=st.floats(min_value=1.0, max_value=6.0),
+    u=st.floats(min_value=1.0, max_value=4.0),
+    alpha=st.floats(min_value=1.2, max_value=3.4),
+    beta=st.floats(min_value=0.5, max_value=1.5),
+)
+def test_property_binary_equals_exhaustive(budget, z0, z1, z2, z3, q, u, alpha, beta):
+    """The quasi-concavity assumption behind Algorithm 1's binary
+    search must hold across the realistic input space: the binary
+    search always achieves the oracle's objective value."""
+    inputs = make_inputs(
+        budget_w=budget,
+        z_min_ns=(z0, z1, z2, z3),
+        q=q,
+        u=u,
+        core_alpha=alpha,
+        mem_beta=beta,
+    )
+    binary = binary_search_sb(inputs)
+    oracle = exhaustive_sb(inputs)
+    assert binary.d >= oracle.d - max(1e-9, 1e-6 * oracle.d)

@@ -1,0 +1,116 @@
+"""FastCapGovernor end-to-end decision behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.governor import FastCapGovernor
+from repro.errors import ConfigurationError
+from repro.sim.server import FrequencySettings, ServerSimulator
+from repro.workloads import get_workload
+
+
+def _counters_for(config, workload_name, settings=None, seed=3):
+    sim = ServerSimulator(config, get_workload(workload_name), seed=seed)
+    settings = settings or FrequencySettings.all_max(config)
+    op = sim.solve_operating_point(settings, np.zeros(config.n_cores))
+    return sim, sim.synthesize_counters(0, op, settings)
+
+
+class TestConstruction:
+    def test_rejects_unknown_search(self):
+        with pytest.raises(ConfigurationError):
+            FastCapGovernor(search="random")
+
+    def test_rejects_unknown_memory_mode(self):
+        with pytest.raises(ConfigurationError):
+            FastCapGovernor(memory_mode="half")
+
+    def test_names(self):
+        assert FastCapGovernor().name == "fastcap"
+        assert FastCapGovernor(memory_mode="max").name == "cpu-only"
+        assert FastCapGovernor(name="custom").name == "custom"
+
+
+class TestDecisions:
+    def test_settings_on_ladders(self, config16):
+        sim, counters = _counters_for(config16, "MID2")
+        gov = FastCapGovernor()
+        gov.initialize(sim.system_view(0.6))
+        settings = gov.decide(counters)
+        for f in settings.core_frequencies_hz:
+            config16.core_dvfs.index_of(f)  # raises if off-ladder
+        config16.mem_dvfs.index_of(settings.bus_frequency_hz)
+
+    def test_slack_budget_runs_near_max(self, config16):
+        sim, counters = _counters_for(config16, "ILP2")
+        gov = FastCapGovernor()
+        gov.initialize(sim.system_view(1.0))
+        settings = gov.decide(counters)
+        assert max(settings.core_frequencies_hz) == config16.core_dvfs.f_max_hz
+
+    def test_tight_budget_slows_cores(self, config16):
+        sim, counters = _counters_for(config16, "ILP1")
+        gov = FastCapGovernor()
+        gov.initialize(sim.system_view(0.4))
+        settings = gov.decide(counters)
+        assert max(settings.core_frequencies_hz) < config16.core_dvfs.f_max_hz
+
+    def test_cpu_only_pins_memory_at_max(self, config16):
+        sim, counters = _counters_for(config16, "MIX1")
+        gov = FastCapGovernor(memory_mode="max")
+        gov.initialize(sim.system_view(0.5))
+        settings = gov.decide(counters)
+        assert settings.bus_frequency_hz == config16.mem_dvfs.f_max_hz
+
+    def test_exhaustive_matches_binary_decision_quality(self, config16):
+        sim_a, counters = _counters_for(config16, "MIX2")
+        binary = FastCapGovernor(search="binary")
+        binary.initialize(sim_a.system_view(0.6))
+        binary.decide(counters)
+        exhaustive = FastCapGovernor(search="exhaustive")
+        exhaustive.initialize(sim_a.system_view(0.6))
+        exhaustive.decide(counters)
+        assert binary.last_decision.d == pytest.approx(
+            exhaustive.last_decision.d, rel=1e-6
+        )
+
+    def test_memory_bound_counters_prefer_fast_memory(self, config16):
+        sim, counters = _counters_for(config16, "MEM1")
+        gov = FastCapGovernor()
+        gov.initialize(sim.system_view(0.8))
+        settings = gov.decide(counters)
+        assert settings.bus_frequency_hz >= 0.8 * config16.mem_dvfs.f_max_hz
+
+    def test_compute_bound_counters_prefer_slow_memory(self, config16):
+        sim, counters = _counters_for(config16, "ILP1")
+        gov = FastCapGovernor()
+        gov.initialize(sim.system_view(0.6))
+        settings = gov.decide(counters)
+        assert settings.bus_frequency_hz <= 0.5 * config16.mem_dvfs.f_max_hz
+
+    def test_decide_requires_initialize(self, config16):
+        sim, counters = _counters_for(config16, "MID1")
+        gov = FastCapGovernor()
+        with pytest.raises(AssertionError):
+            gov.decide(counters)
+
+
+class TestQuantizationRepair:
+    def test_predicted_power_within_budget_after_repair(self, config16):
+        sim, counters = _counters_for(config16, "MID2")
+        gov = FastCapGovernor()
+        gov.initialize(sim.system_view(0.5))
+        settings = gov.decide(counters)
+        inputs = gov.build_inputs(counters)
+        ladder = config16.core_dvfs
+        ratios = np.array(
+            [f / ladder.f_max_hz for f in settings.core_frequencies_hz]
+        )
+        cpu = float(np.sum(inputs.core_p_max * ratios**inputs.core_alpha))
+        s_b = config16.bus_transfer_s(settings.bus_frequency_hz)
+        predicted = (
+            cpu
+            + inputs.memory_dynamic_power_w(s_b)
+            + inputs.static_power_w
+        )
+        assert predicted <= inputs.budget_w * 1.005

@@ -1,0 +1,104 @@
+"""Per-processor budgets (the paper's §III-B extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import (
+    ProcessorGroups,
+    solve_degradation,
+    solve_degradation_grouped,
+)
+from repro.errors import ModelError
+from repro.units import NS
+
+from tests.core.conftest import make_inputs
+
+
+def two_sockets(budgets=(20.0, 20.0)):
+    return ProcessorGroups(
+        membership=np.array([0, 0, 1, 1]),
+        budgets_w=np.array(budgets, dtype=float),
+    )
+
+
+class TestValidation:
+    def test_rejects_unbudgeted_socket(self):
+        with pytest.raises(ModelError):
+            ProcessorGroups(
+                membership=np.array([0, 2]), budgets_w=np.array([10.0, 10.0])
+            )
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ModelError):
+            ProcessorGroups(
+                membership=np.array([0, 0]), budgets_w=np.array([0.0])
+            )
+
+    def test_group_power_sums_members(self):
+        groups = two_sockets()
+        powers = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(groups.group_power(powers), [3.0, 7.0])
+
+
+class TestSolve:
+    def test_loose_sockets_match_global_solve(self):
+        """With socket budgets far above what the global cap allows,
+        the grouped solve reduces to the base problem."""
+        inputs = make_inputs(budget_w=24.0)
+        groups = two_sockets(budgets=(1000.0, 1000.0))
+        s_b = 2 * NS
+        base = solve_degradation(inputs, s_b)
+        grouped = solve_degradation_grouped(inputs, s_b, groups)
+        assert grouped.d == pytest.approx(base.d, rel=1e-6)
+
+    def test_tight_socket_binds(self):
+        """A tight socket budget must lower D below the global-only
+        optimum, and that socket's power must respect its cap."""
+        inputs = make_inputs(budget_w=30.0)
+        s_b = 2 * NS
+        base = solve_degradation(inputs, s_b)
+        base_powers = (
+            inputs.core_p_max
+            * (inputs.z_min / base.z) ** inputs.core_alpha
+        )
+        hot_socket = float(base_powers[:2].sum())
+        groups = two_sockets(budgets=(hot_socket * 0.7, 1000.0))
+        grouped = solve_degradation_grouped(inputs, s_b, groups)
+        assert grouped.d < base.d
+        new_powers = (
+            inputs.core_p_max
+            * (inputs.z_min / grouped.z) ** inputs.core_alpha
+        )
+        assert groups.group_power(new_powers)[0] <= hot_socket * 0.7 * (1 + 1e-6)
+
+    def test_infeasible_socket_reported(self):
+        inputs = make_inputs(budget_w=30.0)
+        groups = two_sockets(budgets=(0.1, 1000.0))  # impossible cap
+        grouped = solve_degradation_grouped(inputs, 2 * NS, groups)
+        assert not grouped.feasible
+
+    def test_fairness_preserved_across_sockets(self):
+        """One common D: the unclipped cores of *both* sockets achieve
+        the same fractional performance even when only one socket's
+        budget binds."""
+        inputs = make_inputs(budget_w=1000.0)  # only socket caps bind
+        s_b = 2 * NS
+        groups = two_sockets(budgets=(3.0, 3.0))
+        grouped = solve_degradation_grouped(inputs, s_b, groups)
+        r = inputs.response.per_core(s_b)
+        t_bar = inputs.best_turnaround_s()
+        achieved = t_bar / (grouped.z + inputs.cache + r)
+        interior = (grouped.z > inputs.z_min * 1.001) & (
+            grouped.z < inputs.z_max * 0.999
+        )
+        if interior.sum() >= 2:
+            spread = achieved[interior].max() / achieved[interior].min()
+            assert spread < 1.001
+
+    def test_d_monotone_in_socket_budget(self):
+        inputs = make_inputs(budget_w=1000.0)
+        ds = []
+        for cap in (2.0, 4.0, 8.0, 1000.0):
+            groups = two_sockets(budgets=(cap, cap))
+            ds.append(solve_degradation_grouped(inputs, 2 * NS, groups).d)
+        assert all(b >= a - 1e-9 for a, b in zip(ds, ds[1:]))

@@ -1,0 +1,100 @@
+"""FastCapInputs: validation and power-prediction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.units import NS
+
+from tests.core.conftest import make_inputs
+
+
+class TestValidation:
+    def test_default_is_valid(self, default_inputs):
+        assert default_inputs.n_cores == 4
+        assert default_inputs.n_candidates == 10
+
+    def test_rejects_mismatched_lengths(self, default_inputs):
+        with pytest.raises(ModelError):
+            make_inputs().__class__(
+                z_min=default_inputs.z_min,
+                z_max=default_inputs.z_max[:2],
+                cache=default_inputs.cache,
+                response=default_inputs.response,
+                core_p_max=default_inputs.core_p_max,
+                core_alpha=default_inputs.core_alpha,
+                memory_model=default_inputs.memory_model,
+                static_power_w=10.0,
+                budget_w=30.0,
+                sb_candidates=default_inputs.sb_candidates,
+                sb_min=default_inputs.sb_min,
+            )
+
+    def test_rejects_z_max_below_z_min(self, default_inputs):
+        with pytest.raises(ModelError):
+            make_inputs().__class__(
+                z_min=default_inputs.z_min,
+                z_max=default_inputs.z_min * 0.5,
+                cache=default_inputs.cache,
+                response=default_inputs.response,
+                core_p_max=default_inputs.core_p_max,
+                core_alpha=default_inputs.core_alpha,
+                memory_model=default_inputs.memory_model,
+                static_power_w=10.0,
+                budget_w=30.0,
+                sb_candidates=default_inputs.sb_candidates,
+                sb_min=default_inputs.sb_min,
+            )
+
+    def test_rejects_unsorted_candidates(self, default_inputs):
+        with pytest.raises(ModelError):
+            make_inputs().__class__(
+                z_min=default_inputs.z_min,
+                z_max=default_inputs.z_max,
+                cache=default_inputs.cache,
+                response=default_inputs.response,
+                core_p_max=default_inputs.core_p_max,
+                core_alpha=default_inputs.core_alpha,
+                memory_model=default_inputs.memory_model,
+                static_power_w=10.0,
+                budget_w=30.0,
+                sb_candidates=default_inputs.sb_candidates[::-1],
+                sb_min=default_inputs.sb_min,
+            )
+
+
+class TestPredictions:
+    def test_best_turnaround_uses_fastest_memory(self, default_inputs):
+        t_bar = default_inputs.best_turnaround_s()
+        r_min = default_inputs.response.per_core(default_inputs.sb_min)
+        expected = default_inputs.z_min + default_inputs.cache + r_min
+        np.testing.assert_allclose(t_bar, expected)
+
+    def test_core_power_at_z_min_is_p_max(self, default_inputs):
+        power = default_inputs.core_dynamic_power_w(default_inputs.z_min)
+        assert power == pytest.approx(float(default_inputs.core_p_max.sum()))
+
+    def test_core_power_decreases_with_slower_cores(self, default_inputs):
+        fast = default_inputs.core_dynamic_power_w(default_inputs.z_min)
+        slow = default_inputs.core_dynamic_power_w(default_inputs.z_min * 1.5)
+        assert slow < fast
+
+    def test_memory_power_at_sb_min(self, default_inputs):
+        power = default_inputs.memory_dynamic_power_w(default_inputs.sb_min)
+        assert power == pytest.approx(default_inputs.memory_model.p_max_w)
+
+    def test_memory_power_decreases_with_slower_bus(self, default_inputs):
+        fast = default_inputs.memory_dynamic_power_w(default_inputs.sb_min)
+        slow = default_inputs.memory_dynamic_power_w(5 * NS)
+        assert slow < fast
+
+    def test_total_power_composes(self, default_inputs):
+        z = default_inputs.z_min * 1.2
+        s_b = 2 * NS
+        total = default_inputs.total_power_w(z, s_b)
+        expected = (
+            default_inputs.core_dynamic_power_w(z)
+            + default_inputs.memory_dynamic_power_w(s_b)
+            + default_inputs.static_power_w
+        )
+        assert total == pytest.approx(expected)

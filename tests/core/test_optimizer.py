@@ -1,0 +1,124 @@
+"""Degradation solve: the Theorem 1 properties."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import solve_degradation
+from repro.units import NS
+
+from tests.core.conftest import make_inputs
+
+
+class TestTightConstraints:
+    def test_budget_equality_when_interior(self):
+        """Theorem 1: the optimum spends the whole budget when no core
+        clips at a DVFS bound."""
+        inputs = make_inputs(budget_w=28.0)
+        sol = solve_degradation(inputs, float(inputs.sb_candidates[3]))
+        assert sol.feasible
+        if np.all(sol.z > inputs.z_min * 1.001) and np.all(
+            sol.z < inputs.z_max * 0.999
+        ):
+            assert sol.power_w == pytest.approx(28.0, rel=1e-6)
+
+    def test_equal_degradation_when_interior(self):
+        """Theorem 1: every unclipped core runs at exactly T̄_i / D."""
+        inputs = make_inputs(budget_w=28.0)
+        s_b = float(inputs.sb_candidates[3])
+        sol = solve_degradation(inputs, s_b)
+        r = inputs.response.per_core(s_b)
+        t_bar = inputs.best_turnaround_s()
+        ratios = t_bar / (sol.z + inputs.cache + r)
+        interior = (sol.z > inputs.z_min * 1.001) & (sol.z < inputs.z_max * 0.999)
+        if interior.any():
+            np.testing.assert_allclose(
+                ratios[interior], ratios[interior][0], rtol=1e-6
+            )
+
+    def test_d_in_unit_interval(self, default_inputs):
+        for idx in range(default_inputs.n_candidates):
+            sol = solve_degradation(
+                default_inputs, float(default_inputs.sb_candidates[idx])
+            )
+            assert 0.0 < sol.d <= 1.0 + 1e-9
+
+    def test_z_respects_dvfs_range(self, default_inputs):
+        sol = solve_degradation(
+            default_inputs, float(default_inputs.sb_candidates[0])
+        )
+        assert np.all(sol.z >= default_inputs.z_min * 0.999)
+        assert np.all(sol.z <= default_inputs.z_max * 1.001)
+
+
+class TestBoundaryCases:
+    def test_slack_budget_runs_at_max(self):
+        inputs = make_inputs(budget_w=1000.0)
+        sol = solve_degradation(inputs, inputs.sb_min)
+        assert sol.d == pytest.approx(1.0)
+        np.testing.assert_allclose(sol.z, inputs.z_min, rtol=1e-9)
+
+    def test_infeasible_budget_pins_floor(self):
+        inputs = make_inputs(budget_w=11.0, static_w=10.0)
+        sol = solve_degradation(inputs, float(inputs.sb_candidates[-1]))
+        assert not sol.feasible
+        np.testing.assert_allclose(sol.z, inputs.z_max, rtol=1e-9)
+        assert sol.power_w > inputs.budget_w
+
+    def test_achieved_d_capped_below_one_at_slow_memory(self):
+        """With slack budget but slow memory, cores cannot compensate
+        beyond f_max, so D < 1 strictly."""
+        inputs = make_inputs(budget_w=1000.0)
+        sol = solve_degradation(inputs, float(inputs.sb_candidates[-1]))
+        assert sol.d < 1.0
+
+
+class TestMonotonicity:
+    def test_d_nondecreasing_in_budget(self):
+        budgets = [16.0, 20.0, 24.0, 28.0, 32.0]
+        ds = []
+        for b in budgets:
+            inputs = make_inputs(budget_w=b)
+            ds.append(solve_degradation(inputs, 2 * NS).d)
+        assert all(b >= a - 1e-9 for a, b in zip(ds, ds[1:]))
+
+    def test_power_nondecreasing_in_budget(self):
+        p_low = solve_degradation(make_inputs(budget_w=18.0), 2 * NS).power_w
+        p_high = solve_degradation(make_inputs(budget_w=26.0), 2 * NS).power_w
+        assert p_high >= p_low - 1e-9
+
+    def test_memory_bound_cores_prefer_fast_memory(self):
+        """For memory-heavy inputs D should fall as s_b grows."""
+        inputs = make_inputs(
+            z_min_ns=(10.0, 12.0, 9.0, 11.0), budget_w=1000.0, q=3.0, u=2.0
+        )
+        ds = [
+            solve_degradation(inputs, float(s)).d
+            for s in inputs.sb_candidates
+        ]
+        assert ds[0] > ds[-1]
+
+    def test_frequency_ratios_derivable(self, default_inputs):
+        sol = solve_degradation(default_inputs, 2 * NS)
+        ratios = sol.core_frequency_ratios(default_inputs.z_min)
+        assert np.all(ratios <= 1.0 + 1e-9)
+        assert np.all(ratios >= 0.5)
+
+
+class TestFairnessSemantics:
+    def test_heterogeneous_cores_degrade_equally(self):
+        """Cores with wildly different think times get the same
+        *fractional* slowdown (the paper's anti-outlier property)."""
+        inputs = make_inputs(
+            z_min_ns=(15.0, 600.0, 60.0, 2000.0), budget_w=24.0
+        )
+        s_b = 2 * NS
+        sol = solve_degradation(inputs, s_b)
+        r = inputs.response.per_core(s_b)
+        t_bar = inputs.best_turnaround_s()
+        achieved = t_bar / (sol.z + inputs.cache + r)
+        interior = (sol.z > inputs.z_min * 1.001) & (
+            sol.z < inputs.z_max * 0.999
+        )
+        if interior.sum() >= 2:
+            spread = achieved[interior].max() / achieved[interior].min()
+            assert spread < 1.001

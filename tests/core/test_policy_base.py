@@ -1,0 +1,118 @@
+"""Shared policy plumbing: fits, input building, quantization repair."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy_base import ModelDrivenPolicy
+from repro.sim.server import FrequencySettings, ServerSimulator
+from repro.workloads import get_workload
+
+from tests.core.conftest import make_inputs
+
+
+class _Probe(ModelDrivenPolicy):
+    """Minimal concrete policy for exercising the base plumbing."""
+
+    name = "probe"
+
+    def decide_from_inputs(self, inputs, counters):
+        return self.settings_from_z(inputs, inputs.z_min, sb_index=0)
+
+
+@pytest.fixture
+def initialized_probe(config16):
+    sim = ServerSimulator(config16, get_workload("MID1"), seed=4)
+    probe = _Probe()
+    probe.initialize(sim.system_view(0.6))
+    return sim, probe
+
+
+class TestInputBuilding:
+    def test_decide_builds_valid_settings(self, initialized_probe, config16):
+        sim, probe = initialized_probe
+        op = sim.solve_operating_point(
+            FrequencySettings.all_max(config16), np.zeros(16)
+        )
+        counters = sim.synthesize_counters(
+            0, op, FrequencySettings.all_max(config16)
+        )
+        settings = probe.decide(counters)
+        for f in settings.core_frequencies_hz:
+            config16.core_dvfs.index_of(f)
+
+    def test_inputs_have_candidates_per_memory_level(
+        self, initialized_probe, config16
+    ):
+        sim, probe = initialized_probe
+        op = sim.solve_operating_point(
+            FrequencySettings.all_max(config16), np.zeros(16)
+        )
+        counters = sim.synthesize_counters(
+            0, op, FrequencySettings.all_max(config16)
+        )
+        inputs = probe.build_inputs(counters, memory_dvfs=True)
+        assert inputs.n_candidates == config16.mem_dvfs.levels
+        pinned = probe.build_inputs(counters, memory_dvfs=False)
+        assert pinned.n_candidates == 1
+
+    def test_bus_freq_index_mapping(self, initialized_probe, config16):
+        _, probe = initialized_probe
+        # Index 0 = smallest transfer time = highest frequency.
+        assert probe.bus_freq_of_index(0) == config16.mem_dvfs.f_max_hz
+        assert (
+            probe.bus_freq_of_index(config16.mem_dvfs.levels - 1)
+            == config16.mem_dvfs.f_min_hz
+        )
+
+
+class TestQuantizationRepair:
+    def _settings_power(self, inputs, settings, ladder, sb_index):
+        ratios = np.array(
+            [f / ladder.f_max_hz for f in settings.core_frequencies_hz]
+        )
+        cpu = float(np.sum(inputs.core_p_max * ratios**inputs.core_alpha))
+        s_b = float(inputs.sb_candidates[sb_index])
+        return cpu + inputs.memory_dynamic_power_w(s_b) + inputs.static_power_w
+
+    def test_repair_brings_power_under_budget(self, initialized_probe, config16):
+        _, probe = initialized_probe
+        # A continuous solution exactly mid-way between levels: nearest
+        # quantization rounds half the cores up.
+        inputs = make_inputs(
+            n_cores=16,
+            z_min_ns=tuple([50.0] * 16),
+            budget_w=probe.view.budget_watts,
+            static_w=probe.view.total_static_estimate_w,
+        )
+        ladder = config16.core_dvfs
+        mid = 0.5 * (ladder.frequencies_hz[4] + ladder.frequencies_hz[5])
+        z = inputs.z_min * (ladder.f_max_hz / mid)
+        repaired = probe.settings_from_z(inputs, z, 0, repair_quantization=True)
+        power = self._settings_power(inputs, repaired, ladder, 0)
+        assert power <= inputs.budget_w * 1.0001 or all(
+            f == ladder.f_min_hz for f in repaired.core_frequencies_hz
+        )
+
+    def test_no_repair_keeps_nearest(self, initialized_probe, config16):
+        _, probe = initialized_probe
+        inputs = make_inputs(
+            n_cores=16,
+            z_min_ns=tuple([50.0] * 16),
+            budget_w=probe.view.budget_watts,
+            static_w=probe.view.total_static_estimate_w,
+        )
+        ladder = config16.core_dvfs
+        target = ladder.frequencies_hz[6]
+        z = inputs.z_min * (ladder.f_max_hz / target)
+        raw = probe.settings_from_z(inputs, z, 0, repair_quantization=False)
+        assert set(raw.core_frequencies_hz) == {target}
+
+    def test_repair_noop_when_budget_slack(self, initialized_probe, config16):
+        _, probe = initialized_probe
+        inputs = make_inputs(
+            n_cores=16, z_min_ns=tuple([50.0] * 16), budget_w=10_000.0
+        )
+        ladder = config16.core_dvfs
+        z = inputs.z_min  # everything at max
+        settings = probe.settings_from_z(inputs, z, 0, repair_quantization=True)
+        assert set(settings.core_frequencies_hz) == {ladder.f_max_hz}

@@ -1,0 +1,106 @@
+"""Online power-model fitting."""
+
+import pytest
+
+from repro.core.power_fit import FittedPowerModel, OnlinePowerFitter
+from repro.errors import ModelError
+
+
+class TestFittedModel:
+    def test_power_at_max_ratio(self):
+        model = FittedPowerModel(p_max_w=4.0, alpha=2.5)
+        assert model.power_at(1.0) == pytest.approx(4.0)
+
+    def test_power_law(self):
+        model = FittedPowerModel(p_max_w=4.0, alpha=2.0)
+        assert model.power_at(0.5) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ModelError):
+            FittedPowerModel(4.0, 2.0).power_at(0.0)
+
+
+class TestFitterBootstrap:
+    def test_no_observations_uses_prior(self):
+        fitter = OnlinePowerFitter(3.0, 2.5)
+        model = fitter.current()
+        assert model.p_max_w == 3.0
+        assert model.alpha == 2.5
+
+    def test_single_observation_backsolves_p(self):
+        fitter = OnlinePowerFitter(3.0, 2.0)
+        fitter.observe(0.5, 1.0)  # P * 0.25 = 1.0 -> P = 4
+        model = fitter.current()
+        assert model.alpha == 2.0
+        assert model.p_max_w == pytest.approx(4.0)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ModelError):
+            OnlinePowerFitter(3.0, 2.5).observe(1.5, 1.0)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ModelError):
+            OnlinePowerFitter(0.0, 2.5)
+        with pytest.raises(ModelError):
+            OnlinePowerFitter(1.0, 2.5, history=1)
+        with pytest.raises(ModelError):
+            OnlinePowerFitter(1.0, 2.5, alpha_bounds=(3.0, 1.0))
+
+
+class TestFitting:
+    def test_recovers_exact_power_law(self):
+        fitter = OnlinePowerFitter(1.0, 1.0)
+        true = FittedPowerModel(5.0, 2.7)
+        for ratio in (0.55, 0.8, 1.0):
+            fitter.observe(ratio, true.power_at(ratio))
+        model = fitter.current()
+        assert model.alpha == pytest.approx(2.7, rel=1e-6)
+        assert model.p_max_w == pytest.approx(5.0, rel=1e-6)
+
+    def test_anchors_on_latest_observation(self):
+        # Prediction at the most recent ratio must equal the most
+        # recent measurement (this is what keeps steady-state capping
+        # unbiased).
+        fitter = OnlinePowerFitter(1.0, 2.0)
+        fitter.observe(1.0, 5.0)
+        fitter.observe(0.7, 2.2)
+        model = fitter.current()
+        assert model.power_at(0.7) == pytest.approx(2.2, rel=1e-9)
+
+    def test_alpha_clamped(self):
+        fitter = OnlinePowerFitter(1.0, 2.0, alpha_bounds=(1.0, 3.0))
+        # Absurdly steep data: alpha would fit >> 3.
+        fitter.observe(0.5, 0.01)
+        fitter.observe(1.0, 10.0)
+        assert fitter.current().alpha == 3.0
+
+    def test_history_keeps_last_distinct_ratios(self):
+        fitter = OnlinePowerFitter(1.0, 2.0, history=3)
+        for ratio in (0.4, 0.6, 0.8, 1.0):
+            fitter.observe(ratio, ratio**2)
+        assert fitter.n_points == 3  # 0.4 evicted
+
+    def test_same_ratio_replaces(self):
+        fitter = OnlinePowerFitter(1.0, 2.0)
+        fitter.observe(0.8, 1.0)
+        fitter.observe(0.8, 2.0)
+        assert fitter.n_points == 1
+        assert fitter.current().power_at(0.8) == pytest.approx(2.0)
+
+    def test_near_duplicate_ratios_fall_back_to_default_alpha(self):
+        fitter = OnlinePowerFitter(1.0, 2.2)
+        fitter.observe(0.800000, 1.0)
+        fitter.observe(0.800001, 1.0)
+        assert fitter.current().alpha == 2.2
+
+    def test_floor_on_nonpositive_power(self):
+        fitter = OnlinePowerFitter(1.0, 2.0)
+        fitter.observe(0.5, -3.0)  # static over-subtraction at idle
+        assert fitter.current().p_max_w > 0
+
+    def test_reset_clears_history(self):
+        fitter = OnlinePowerFitter(3.0, 2.5)
+        fitter.observe(1.0, 9.0)
+        fitter.reset()
+        assert fitter.n_points == 0
+        assert fitter.current().p_max_w == 3.0

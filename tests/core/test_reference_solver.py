@@ -1,0 +1,88 @@
+"""Reference solvers vs Algorithm 1 (the paper's 'CPLEX' cross-check)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import binary_search_sb
+from repro.core.optimizer import solve_degradation
+from repro.core.reference_solver import (
+    continuous_relaxation,
+    solve_nlp,
+)
+from repro.units import NS
+
+from tests.core.conftest import make_inputs
+
+
+class TestContinuousRelaxation:
+    @pytest.mark.parametrize("budget", [16.0, 22.0, 30.0, 80.0])
+    def test_discrete_never_beats_continuous(self, budget):
+        inputs = make_inputs(budget_w=budget)
+        discrete = binary_search_sb(inputs)
+        relaxed = continuous_relaxation(inputs)
+        assert discrete.d <= relaxed.d + 1e-9
+
+    @pytest.mark.parametrize("budget", [16.0, 22.0, 30.0])
+    def test_discrete_close_on_ten_point_grid(self, budget):
+        # M=10 candidates: discrete loses only a small sliver of D.
+        inputs = make_inputs(budget_w=budget)
+        discrete = binary_search_sb(inputs)
+        relaxed = continuous_relaxation(inputs)
+        assert discrete.d >= relaxed.d - 0.05
+
+    def test_dense_grid_converges_to_relaxation(self):
+        inputs = make_inputs(budget_w=22.0, n_candidates=200)
+        discrete = binary_search_sb(inputs)
+        relaxed = continuous_relaxation(inputs)
+        assert discrete.d == pytest.approx(relaxed.d, abs=2e-3)
+
+    def test_relaxed_sb_within_range(self):
+        inputs = make_inputs(budget_w=22.0)
+        relaxed = continuous_relaxation(inputs)
+        assert inputs.sb_candidates[0] <= relaxed.s_b <= inputs.sb_candidates[-1]
+
+
+class TestNLPCrossCheck:
+    @pytest.mark.parametrize("budget", [14.0, 18.0, 24.0, 40.0, 200.0])
+    def test_matches_theorem1_solver(self, budget):
+        """The feasibility-bisection NLP (no Theorem 1 assumption) must
+        agree with the tight-constraint solve."""
+        inputs = make_inputs(budget_w=budget)
+        s_b = 2 * NS
+        theorem1 = solve_degradation(inputs, s_b)
+        nlp = solve_nlp(inputs, s_b)
+        assert nlp.feasible == theorem1.feasible
+        assert nlp.d == pytest.approx(theorem1.d, rel=1e-6)
+
+    def test_z_agrees_when_feasible(self):
+        inputs = make_inputs(budget_w=24.0)
+        s_b = 2 * NS
+        theorem1 = solve_degradation(inputs, s_b)
+        nlp = solve_nlp(inputs, s_b)
+        np.testing.assert_allclose(nlp.z, theorem1.z, rtol=1e-5)
+
+    def test_infeasible_detected(self):
+        inputs = make_inputs(budget_w=10.5, static_w=10.0)
+        nlp = solve_nlp(inputs, 4 * NS)
+        assert not nlp.feasible
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    budget=st.floats(min_value=13.0, max_value=90.0),
+    z0=st.floats(min_value=5.0, max_value=2000.0),
+    z1=st.floats(min_value=5.0, max_value=2000.0),
+    z2=st.floats(min_value=5.0, max_value=2000.0),
+    alpha=st.floats(min_value=1.2, max_value=3.4),
+)
+def test_property_nlp_equals_theorem1(budget, z0, z1, z2, alpha):
+    """Theorem 1 holds across the input space: assuming the equalities
+    (solve_degradation) never loses against the assumption-free NLP."""
+    inputs = make_inputs(
+        n_cores=3, z_min_ns=(z0, z1, z2), budget_w=budget, core_alpha=alpha
+    )
+    s_b = 2 * NS
+    theorem1 = solve_degradation(inputs, s_b)
+    nlp = solve_nlp(inputs, s_b)
+    assert theorem1.d == pytest.approx(nlp.d, rel=1e-5, abs=1e-9)

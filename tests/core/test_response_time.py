@@ -1,0 +1,111 @@
+"""Controller-side R(s_b) model (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.response_time import ResponseModel
+from repro.errors import ModelError
+from repro.units import NS
+
+
+@pytest.fixture
+def single_controller_model():
+    return ResponseModel(
+        q=np.array([2.0]),
+        u=np.array([1.5]),
+        s_m=np.array([25 * NS]),
+        visits=np.ones((4, 1)),
+    )
+
+
+@pytest.fixture
+def dual_controller_model():
+    return ResponseModel(
+        q=np.array([2.0, 1.2]),
+        u=np.array([1.5, 1.0]),
+        s_m=np.array([25 * NS, 20 * NS]),
+        visits=np.array([[0.8, 0.2], [0.2, 0.8], [0.5, 0.5], [1.0, 0.0]]),
+    )
+
+
+class TestEquationOne:
+    def test_formula(self, single_controller_model):
+        s_b = 5 * NS
+        expected = 2.0 * (25 * NS + 1.5 * 5 * NS)
+        r = single_controller_model.per_controller(s_b)
+        assert r[0] == pytest.approx(expected)
+
+    def test_per_core_uniform_visits(self, single_controller_model):
+        r = single_controller_model.per_core(5 * NS)
+        assert r.shape == (4,)
+        np.testing.assert_allclose(r, r[0])
+
+    def test_affine_in_sb(self, single_controller_model):
+        r1 = single_controller_model.per_core(1 * NS)
+        r2 = single_controller_model.per_core(2 * NS)
+        r3 = single_controller_model.per_core(3 * NS)
+        np.testing.assert_allclose(r3 - r2, r2 - r1, rtol=1e-12)
+
+    def test_sensitivity_is_qu(self, single_controller_model):
+        sens = single_controller_model.sensitivity_per_core()
+        assert sens[0] == pytest.approx(2.0 * 1.5)
+
+    def test_rejects_nonpositive_sb(self, single_controller_model):
+        with pytest.raises(ModelError):
+            single_controller_model.per_core(0.0)
+
+
+class TestMultiController:
+    def test_weighted_mixing(self, dual_controller_model):
+        s_b = 5 * NS
+        per_ctrl = dual_controller_model.per_controller(s_b)
+        r = dual_controller_model.per_core(s_b)
+        assert r[3] == pytest.approx(per_ctrl[0])  # core 3 visits only k=0
+        expected_core2 = 0.5 * per_ctrl[0] + 0.5 * per_ctrl[1]
+        assert r[2] == pytest.approx(expected_core2)
+
+    def test_cores_see_different_response(self, dual_controller_model):
+        r = dual_controller_model.per_core(5 * NS)
+        assert r[0] != pytest.approx(r[1])
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            ResponseModel(
+                q=np.array([2.0]),
+                u=np.array([1.5, 1.0]),
+                s_m=np.array([25 * NS]),
+                visits=np.ones((4, 1)),
+            )
+
+    def test_visit_matrix_width_checked(self):
+        with pytest.raises(ModelError):
+            ResponseModel(
+                q=np.array([2.0]),
+                u=np.array([1.5]),
+                s_m=np.array([25 * NS]),
+                visits=np.ones((4, 2)),
+            )
+
+
+def test_from_counters_round_trip(config16):
+    """Build counters via the simulator and check the model matches."""
+    import numpy as np
+
+    from repro.sim.server import FrequencySettings, ServerSimulator
+    from repro.workloads import get_workload
+
+    sim = ServerSimulator(config16, get_workload("MID1"), seed=2)
+    op = sim.solve_operating_point(
+        FrequencySettings.all_max(config16), np.zeros(16)
+    )
+    counters = sim.synthesize_counters(0, op, FrequencySettings.all_max(config16))
+    model = ResponseModel.from_counters(counters)
+    assert model.q.shape == (1,)
+    assert model.visits.shape == (16, 1)
+    # At the operating point, Eq. 1 with the synthesized Q/U should be
+    # close to the true mean response (U is chosen to make it so).
+    r_pred = model.per_core(config16.min_bus_transfer_s)
+    r_true = op.solution.memory_response_s
+    assert np.mean(np.abs(r_pred - r_true) / r_true) < 0.35

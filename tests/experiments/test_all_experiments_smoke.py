@@ -1,0 +1,44 @@
+"""Every registered experiment runs end to end at ultra-quick scale.
+
+The benches assert each artefact's *shape*; these smoke tests assert
+the more basic contract — every experiment module executes, returns
+well-formed output, and renders — at a scale fast enough for the unit
+suite.  table1/overhead time real decisions and the config sweeps run
+many workloads, so the slowest few are marked ``slow``.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentRunner, run_experiment
+
+#: Experiments cheap enough for the default suite at factor 25.
+FAST = ("table3", "fig4", "fig5", "fig7", "fig8", "fig10", "fig11")
+#: Heavier sweeps, excluded from the default run (benches cover them).
+HEAVY = sorted(set(EXPERIMENTS) - set(FAST))
+
+
+@pytest.fixture(scope="module")
+def smoke_runner():
+    return ExperimentRunner(quick=True, quick_factor=25.0)
+
+
+@pytest.mark.parametrize("experiment_id", FAST)
+def test_experiment_runs_and_renders(experiment_id, smoke_runner):
+    output = run_experiment(experiment_id, runner=smoke_runner)
+    assert output.experiment_id == experiment_id
+    assert output.tables or output.series
+    rendered = output.render()
+    assert experiment_id in rendered
+    for table in output.tables.values():
+        assert table.rows, experiment_id
+        for row in table.rows:
+            assert len(row) == len(table.headers), experiment_id
+    for series in output.series.values():
+        assert series.points, experiment_id
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("experiment_id", HEAVY)
+def test_heavy_experiment_runs(experiment_id, smoke_runner):
+    output = run_experiment(experiment_id, runner=smoke_runner)
+    assert output.tables or output.series

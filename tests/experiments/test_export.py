@@ -1,0 +1,62 @@
+"""CSV export of experiment outputs."""
+
+import csv
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import export_csv
+from repro.experiments.report import ExperimentOutput, Series, Table
+
+
+@pytest.fixture
+def sample_output():
+    out = ExperimentOutput("figX", "sample")
+    out.tables["summary"] = Table(
+        headers=("name", "value"), rows=(("a", 1.5), ("b", 2.5))
+    )
+    out.series["power"] = Series(
+        "epoch", "watts", points=((0.0, 50.0), (1.0, 55.0))
+    )
+    return out
+
+
+def test_writes_one_file_per_artifact(tmp_path, sample_output):
+    files = export_csv(sample_output, str(tmp_path))
+    assert len(files) == 2
+    names = {f.split("/")[-1] for f in files}
+    assert names == {"figX_summary.csv", "figX_power.csv"}
+
+
+def test_table_round_trips(tmp_path, sample_output):
+    export_csv(sample_output, str(tmp_path))
+    with open(tmp_path / "figX_summary.csv") as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["name", "value"]
+    assert rows[1] == ["a", "1.5"]
+
+
+def test_series_round_trips(tmp_path, sample_output):
+    export_csv(sample_output, str(tmp_path))
+    with open(tmp_path / "figX_power.csv") as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["epoch", "watts"]
+    assert [float(v) for v in rows[2]] == [1.0, 55.0]
+
+
+def test_creates_directory(tmp_path, sample_output):
+    target = tmp_path / "nested" / "dir"
+    export_csv(sample_output, str(target))
+    assert target.exists()
+
+
+def test_empty_output_rejected(tmp_path):
+    with pytest.raises(ExperimentError):
+        export_csv(ExperimentOutput("figY", "empty"), str(tmp_path))
+
+
+def test_unsafe_names_sanitized(tmp_path):
+    out = ExperimentOutput("figZ", "sample")
+    out.series["B=60% power"] = Series("x", "y", points=((0.0, 1.0),))
+    files = export_csv(out, str(tmp_path))
+    assert files[0].endswith("figZ_B_60__power.csv")

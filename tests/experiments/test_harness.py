@@ -1,0 +1,122 @@
+"""Experiment harness: runner, registry, report rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentRunner,
+    RunSpec,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.report import ExperimentOutput, Series, Table, series_from_arrays
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1",
+            "table3",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "overhead",
+            "ablation",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_list_is_sorted(self):
+        assert list_experiments() == sorted(list_experiments())
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+
+class TestReport:
+    def test_table_renders_headers_and_rows(self):
+        table = Table(headers=("a", "b"), rows=((1, 2.5), ("x", 3.14159)))
+        text = table.render()
+        assert "a" in text and "b" in text
+        assert "3.142" in text  # 4 significant digits
+
+    def test_series_renders_points(self):
+        series = series_from_arrays("epoch", "watts", [0, 1], [50.0, 55.0])
+        text = series.render()
+        assert "epoch" in text and "watts" in text
+        assert "(0, 50)" in text
+
+    def test_series_subsamples_long_data(self):
+        series = Series("x", "y", tuple((float(i), 0.0) for i in range(200)))
+        assert series.render(max_points=10).count("(") <= 13
+
+    def test_output_render_includes_notes(self):
+        out = ExperimentOutput("id", "title", notes=["check this"])
+        assert "check this" in out.render()
+
+
+class TestRunner:
+    def test_quick_scaling_shrinks_quota(self):
+        runner = ExperimentRunner(quick=True, quick_factor=5.0)
+        spec = RunSpec(workload="ILP1", policy="fastcap", budget_fraction=0.6)
+        scaled = runner.scaled(spec)
+        assert scaled.instruction_quota == pytest.approx(20e6)
+
+    def test_quick_scaling_floors(self):
+        runner = ExperimentRunner(quick=True, quick_factor=100.0)
+        spec = RunSpec(
+            workload="ILP1",
+            policy="fastcap",
+            budget_fraction=0.6,
+            instruction_quota=None,
+            max_epochs=50,
+        )
+        scaled = runner.scaled(spec)
+        assert scaled.max_epochs == 10
+
+    def test_full_mode_passthrough(self):
+        runner = ExperimentRunner(quick=False)
+        spec = RunSpec(workload="ILP1", policy="fastcap", budget_fraction=0.6)
+        assert runner.scaled(spec) is spec
+
+    def test_baseline_cached(self):
+        runner = ExperimentRunner(quick=True, quick_factor=20.0)
+        spec = RunSpec(workload="ILP2", policy="fastcap", budget_fraction=0.6)
+        first = runner.baseline(spec)
+        second = runner.baseline(spec)
+        assert first is second
+
+    def test_baseline_is_max_frequency(self):
+        runner = ExperimentRunner(quick=True, quick_factor=20.0)
+        spec = RunSpec(workload="ILP2", policy="fastcap", budget_fraction=0.6)
+        base = runner.baseline(spec)
+        assert base.policy_name == "max-freq"
+
+    def test_run_respects_spec_policy(self):
+        runner = ExperimentRunner(quick=True, quick_factor=20.0)
+        spec = RunSpec(workload="ILP2", policy="fastcap", budget_fraction=0.6)
+        result = runner.run(spec)
+        assert result.policy_name == "fastcap"
+        assert result.workload_name == "ILP2"
+
+    def test_config_axes_applied(self):
+        runner = ExperimentRunner(quick=True)
+        spec = RunSpec(
+            workload="ILP1",
+            policy="fastcap",
+            budget_fraction=0.6,
+            n_cores=4,
+            ooo=True,
+        )
+        config = runner.config_for(spec)
+        assert config.n_cores == 4
+        assert config.ooo.enabled

@@ -1,0 +1,144 @@
+"""Performance, power and fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.fairness import fairness_gap, jain_index
+from repro.metrics.performance import (
+    normalized_degradation,
+    summarize_degradation,
+)
+from repro.metrics.power import summarize_power
+from repro.sim.server import EpochRecord, RunResult
+
+
+def make_run(
+    policy="fastcap",
+    workload="MIX1",
+    config="cfg",
+    instructions=(1e8, 2e8),
+    elapsed=1.0,
+    powers=(50.0, 55.0, 60.0),
+    budget=60.0,
+    peak=100.0,
+    apps=("a", "b"),
+):
+    run = RunResult(
+        policy_name=policy,
+        workload_name=workload,
+        config_name=config,
+        budget_fraction=budget / peak,
+        budget_watts=budget,
+        peak_power_w=peak,
+        app_names=apps,
+    )
+    run.instructions = np.array(instructions, dtype=float)
+    run.elapsed_s = elapsed
+    for i, p in enumerate(powers):
+        run.epochs.append(
+            EpochRecord(
+                index=i,
+                start_time_s=i * 0.005,
+                duration_s=0.005,
+                core_frequencies_hz=(4e9,) * len(apps),
+                bus_frequency_hz=800e6,
+                total_power_w=p,
+                cpu_power_w=p * 0.6,
+                memory_power_w=p * 0.3,
+                per_core_ips=(1e9,) * len(apps),
+                decision_time_s=1e-5,
+                budget_watts=budget,
+            )
+        )
+    return run
+
+
+class TestNormalizedDegradation:
+    def test_identity_against_itself(self):
+        run = make_run()
+        np.testing.assert_allclose(normalized_degradation(run, run), 1.0)
+
+    def test_half_speed_doubles_degradation(self):
+        base = make_run()
+        slow = make_run(instructions=(0.5e8, 1e8))
+        np.testing.assert_allclose(normalized_degradation(slow, base), 2.0)
+
+    def test_workload_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            normalized_degradation(make_run(workload="A"), make_run(workload="B"))
+
+    def test_config_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            normalized_degradation(make_run(config="A"), make_run(config="B"))
+
+
+class TestSummarizeDegradation:
+    def test_average_and_worst(self):
+        base = make_run()
+        slow = make_run(instructions=(0.5e8, 2e8))  # app a 2x, app b 1x
+        summary = summarize_degradation([slow], [base])
+        assert summary.worst == pytest.approx(2.0)
+        assert summary.average == pytest.approx(1.5)
+        assert summary.outlier_gap == pytest.approx(2.0 / 1.5)
+
+    def test_per_app_keys(self):
+        base = make_run()
+        slow = make_run(instructions=(0.5e8, 2e8))
+        summary = summarize_degradation([slow], [base])
+        assert set(summary.per_app) == {"MIX1:a", "MIX1:b"}
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ExperimentError):
+            summarize_degradation([make_run()], [])
+
+
+class TestSummarizePower:
+    def test_mean_and_max(self):
+        stats = summarize_power(make_run(powers=(50.0, 55.0, 60.0)))
+        assert stats.mean_w == pytest.approx(55.0)
+        assert stats.max_epoch_w == 60.0
+        assert stats.mean_of_peak == pytest.approx(0.55)
+
+    def test_violations_counted(self):
+        stats = summarize_power(
+            make_run(powers=(59.0, 62.0, 63.0, 58.0), budget=60.0)
+        )
+        assert stats.violation_fraction == pytest.approx(0.5)
+        assert stats.longest_violation_epochs == 2
+        assert stats.max_overshoot_fraction == pytest.approx(0.05)
+
+    def test_settles_within(self):
+        stats = summarize_power(
+            make_run(powers=(62.0, 58.0, 62.0, 58.0), budget=60.0)
+        )
+        assert stats.settles_within(1)
+        assert not stats.settles_within(0)
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize_power(make_run(powers=()))
+
+
+class TestFairness:
+    def test_gap_of_uniform_vector_is_one(self):
+        assert fairness_gap([1.2, 1.2, 1.2]) == pytest.approx(1.0)
+
+    def test_gap_detects_outlier(self):
+        assert fairness_gap([1.1, 1.1, 2.2]) > 1.4
+
+    def test_jain_of_uniform_is_one(self):
+        assert jain_index([1.3, 1.3, 1.3, 1.3]) == pytest.approx(1.0)
+
+    def test_jain_decreases_with_spread(self):
+        fair = jain_index([1.2, 1.25, 1.2, 1.22])
+        unfair = jain_index([1.0, 1.0, 1.0, 3.0])
+        assert unfair < fair
+
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            fairness_gap([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            jain_index([1.0, -1.0])

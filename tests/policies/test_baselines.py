@@ -1,0 +1,202 @@
+"""Behavioural contracts of the baseline policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies import (
+    CpuOnlyPolicy,
+    EqlFreqPolicy,
+    EqlPwrPolicy,
+    FreqParPolicy,
+    MaxBIPSPolicy,
+    make_policy,
+)
+from repro.policies.registry import POLICY_FACTORIES
+from repro.sim.config import table2_config
+from repro.sim.server import FrequencySettings, ServerSimulator
+from repro.workloads import get_workload
+
+
+def _counters(config, workload="MIX1", seed=3, settings=None):
+    sim = ServerSimulator(config, get_workload(workload), seed=seed)
+    settings = settings or FrequencySettings.all_max(config)
+    op = sim.solve_operating_point(settings, np.zeros(config.n_cores))
+    return sim, sim.synthesize_counters(0, op, settings)
+
+
+class TestRegistry:
+    def test_all_factories_instantiate(self):
+        for name in POLICY_FACTORIES:
+            policy = make_policy(name)
+            assert hasattr(policy, "decide")
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("nope")
+
+    def test_names_match_registry_keys(self):
+        for name in ("fastcap", "cpu-only", "freq-par", "eql-pwr", "eql-freq"):
+            assert make_policy(name).name == name
+
+
+class TestCpuOnly:
+    def test_memory_always_max(self, config16):
+        sim, counters = _counters(config16, "MEM1")
+        policy = CpuOnlyPolicy()
+        policy.initialize(sim.system_view(0.5))
+        settings = policy.decide(counters)
+        assert settings.bus_frequency_hz == config16.mem_dvfs.f_max_hz
+
+
+class TestFreqPar:
+    def test_reacts_to_over_budget(self, config16):
+        sim, counters = _counters(config16, "ILP1")
+        policy = FreqParPolicy()
+        policy.initialize(sim.system_view(0.4))  # budget far below draw
+        settings = policy.decide(counters)
+        assert (
+            np.mean(settings.core_frequencies_hz) < config16.core_dvfs.f_max_hz
+        )
+
+    def test_memory_pinned_at_max(self, config16):
+        sim, counters = _counters(config16, "MIX1")
+        policy = FreqParPolicy()
+        policy.initialize(sim.system_view(0.6))
+        assert (
+            policy.decide(counters).bus_frequency_hz
+            == config16.mem_dvfs.f_max_hz
+        )
+
+    def test_efficiency_weighting_is_unfair(self, config16):
+        """Cores with higher IPS/W get more frequency — by design."""
+        sim, counters = _counters(config16, "MIX4")
+        policy = FreqParPolicy()
+        policy.initialize(sim.system_view(0.5))
+        settings = policy.decide(counters)
+        freqs = np.array(settings.core_frequencies_hz)
+        assert freqs.max() > freqs.min()  # allocation is not uniform
+
+    def test_quota_clamped_to_ladder_range(self, config16):
+        sim, counters = _counters(config16, "ILP1")
+        policy = FreqParPolicy(gain=50.0)  # absurd gain
+        policy.initialize(sim.system_view(0.4))
+        settings = policy.decide(counters)
+        for f in settings.core_frequencies_hz:
+            assert config16.core_dvfs.f_min_hz <= f <= config16.core_dvfs.f_max_hz
+
+
+class TestEqlPwr:
+    def test_settings_on_ladder(self, config16):
+        sim, counters = _counters(config16, "MIX4")
+        policy = EqlPwrPolicy()
+        policy.initialize(sim.system_view(0.6))
+        settings = policy.decide(counters)
+        for f in settings.core_frequencies_hz:
+            config16.core_dvfs.index_of(f)
+
+    def test_low_power_apps_reach_max_under_equal_share(self, config16):
+        """An equal share overshoots what a memory-bound app can use,
+        so its core runs at max while hungrier cores are held back."""
+        sim, counters = _counters(config16, "MIX4")
+        policy = EqlPwrPolicy()
+        policy.initialize(sim.system_view(0.7))
+        settings = policy.decide(counters)
+        freqs = np.array(settings.core_frequencies_hz)
+        assert freqs.max() == config16.core_dvfs.f_max_hz
+        assert freqs.min() < config16.core_dvfs.f_max_hz
+
+
+class TestEqlFreq:
+    def test_all_cores_same_frequency(self, config16):
+        sim, counters = _counters(config16, "MIX2")
+        policy = EqlFreqPolicy()
+        policy.initialize(sim.system_view(0.6))
+        settings = policy.decide(counters)
+        assert len(set(settings.core_frequencies_hz)) == 1
+
+    def test_respects_budget_prediction(self, config16):
+        sim, counters = _counters(config16, "ILP1")
+        policy = EqlFreqPolicy()
+        policy.initialize(sim.system_view(0.5))
+        settings = policy.decide(counters)
+        assert settings.core_frequencies_hz[0] < config16.core_dvfs.f_max_hz
+
+
+class TestGreedyHeap:
+    def test_caps_predicted_power(self, config16):
+        from repro.policies import GreedyHeapPolicy
+
+        sim, counters = _counters(config16, "MIX4")
+        policy = GreedyHeapPolicy()
+        policy.initialize(sim.system_view(0.5))
+        settings = policy.decide(counters)
+        inputs = policy.build_inputs(counters)
+        ladder = config16.core_dvfs
+        ratios = np.array(
+            [f / ladder.f_max_hz for f in settings.core_frequencies_hz]
+        )
+        cpu = float(np.sum(inputs.core_p_max * ratios**inputs.core_alpha))
+        s_b = config16.bus_transfer_s(settings.bus_frequency_hz)
+        predicted = (
+            cpu + inputs.memory_dynamic_power_w(s_b) + inputs.static_power_w
+        )
+        assert predicted <= inputs.budget_w * 1.001
+
+    def test_slack_budget_stays_at_max(self, config16):
+        from repro.policies import GreedyHeapPolicy
+
+        sim, counters = _counters(config16, "ILP2")
+        policy = GreedyHeapPolicy()
+        policy.initialize(sim.system_view(1.0))
+        settings = policy.decide(counters)
+        assert set(settings.core_frequencies_hz) == {config16.core_dvfs.f_max_hz}
+
+    def test_greedy_is_ratio_driven_not_fair(self, config16):
+        """Different cores end at different levels (the descent follows
+        efficiency ratios, not equal degradation)."""
+        from repro.policies import GreedyHeapPolicy
+
+        sim, counters = _counters(config16, "MIX4")
+        policy = GreedyHeapPolicy()
+        policy.initialize(sim.system_view(0.5))
+        settings = policy.decide(counters)
+        assert len(set(settings.core_frequencies_hz)) > 1
+
+    def test_settings_on_ladders(self, config16):
+        from repro.policies import GreedyHeapPolicy
+
+        sim, counters = _counters(config16, "MID3")
+        policy = GreedyHeapPolicy()
+        policy.initialize(sim.system_view(0.6))
+        settings = policy.decide(counters)
+        for f in settings.core_frequencies_hz:
+            config16.core_dvfs.index_of(f)
+        config16.mem_dvfs.index_of(settings.bus_frequency_hz)
+
+
+class TestMaxBIPS:
+    def test_refuses_many_cores(self, config16):
+        sim, _ = _counters(config16, "MIX1")
+        policy = MaxBIPSPolicy()
+        with pytest.raises(ConfigurationError):
+            policy.initialize(sim.system_view(0.6))
+
+    def test_runs_on_four_cores(self, config4):
+        sim, counters = _counters(config4, "MIX1")
+        policy = MaxBIPSPolicy()
+        policy.initialize(sim.system_view(0.6))
+        settings = policy.decide(counters)
+        assert len(settings.core_frequencies_hz) == 4
+        for f in settings.core_frequencies_hz:
+            config4.core_dvfs.index_of(f)
+
+    def test_prefers_throughput_over_fairness(self, config4):
+        """MaxBIPS gives CPU-efficient cores higher frequencies than
+        memory-bound ones when the budget binds."""
+        sim, counters = _counters(config4, "MIX4")
+        policy = MaxBIPSPolicy()
+        policy.initialize(sim.system_view(0.5))
+        settings = policy.decide(counters)
+        freqs = np.array(settings.core_frequencies_hz)
+        assert freqs.max() > freqs.min()

@@ -1,0 +1,90 @@
+"""Discrete-event simulator sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queueing.eventsim import simulate_network
+from repro.queueing.network import BackgroundFlow, QueueingNetwork
+
+from tests.conftest import make_network
+
+
+class TestBasics:
+    def test_completions_accumulate(self, small_network):
+        res = simulate_network(small_network, horizon_s=0.005, seed=3)
+        assert np.all(res.completions > 0)
+
+    def test_throughput_matches_completions(self, small_network):
+        res = simulate_network(small_network, horizon_s=0.005, seed=3)
+        np.testing.assert_allclose(
+            res.throughput_per_s,
+            res.completions / res.simulated_time_s,
+            rtol=1e-9,
+        )
+
+    def test_counters_at_least_one(self, small_network):
+        res = simulate_network(small_network, horizon_s=0.005, seed=3)
+        assert np.all(res.q_counter >= 1.0)
+        assert np.all(res.u_counter >= 1.0)
+
+    def test_utilizations_bounded(self, small_network):
+        res = simulate_network(small_network, horizon_s=0.005, seed=3)
+        assert np.all(res.bank_utilization <= 1.0)
+        assert np.all(res.bus_utilization <= 1.0)
+
+    def test_warmup_discards_time(self, small_network):
+        res = simulate_network(
+            small_network, horizon_s=0.005, warmup_s=0.001, seed=3
+        )
+        assert res.simulated_time_s == pytest.approx(0.004, rel=0.05)
+
+    def test_rejects_bad_horizon(self, small_network):
+        with pytest.raises(ConfigurationError):
+            simulate_network(small_network, horizon_s=0.0)
+
+    def test_rejects_warmup_after_horizon(self, small_network):
+        with pytest.raises(ConfigurationError):
+            simulate_network(small_network, horizon_s=0.001, warmup_s=0.002)
+
+    def test_seed_reproducible(self, small_network):
+        a = simulate_network(small_network, horizon_s=0.003, seed=7)
+        b = simulate_network(small_network, horizon_s=0.003, seed=7)
+        np.testing.assert_array_equal(a.completions, b.completions)
+
+    def test_different_seeds_differ(self, small_network):
+        a = simulate_network(small_network, horizon_s=0.003, seed=7)
+        b = simulate_network(small_network, horizon_s=0.003, seed=8)
+        assert not np.array_equal(a.completions, b.completions)
+
+
+class TestBehaviour:
+    def test_background_traffic_slows_foreground(self, small_network):
+        base = simulate_network(small_network, horizon_s=0.005, seed=5)
+        with_bg = QueueingNetwork(
+            classes=small_network.classes,
+            controllers=small_network.controllers,
+            background=tuple(
+                BackgroundFlow(b, 4e6) for b in range(small_network.total_banks)
+            ),
+        )
+        loaded = simulate_network(with_bg, horizon_s=0.005, seed=5)
+        assert (
+            loaded.throughput_per_s.sum() < base.throughput_per_s.sum()
+        )
+
+    def test_slower_bus_reduces_throughput(self):
+        fast = simulate_network(
+            make_network(think_ns=5, bus_ns=1.25), horizon_s=0.005, seed=5
+        )
+        slow = simulate_network(
+            make_network(think_ns=5, bus_ns=10.0), horizon_s=0.005, seed=5
+        )
+        assert slow.throughput_per_s.sum() < fast.throughput_per_s.sum()
+
+    def test_transfer_blocking_inflates_bank_busy(self):
+        # With a very slow bus, banks spend most time blocked: bank
+        # utilisation approaches 1 even though raw service is short.
+        net = make_network(n_classes=8, think_ns=5, service_ns=5, bus_ns=50)
+        res = simulate_network(net, horizon_s=0.005, seed=5)
+        assert res.bank_utilization.mean() > 0.3

@@ -1,0 +1,149 @@
+"""AMVA solver properties on the transfer-blocking network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import (
+    BackgroundFlow,
+    QueueingNetwork,
+)
+
+from tests.conftest import make_network
+
+
+class TestBasicSolution:
+    def test_symmetric_classes_get_equal_throughput(self, small_network):
+        sol = solve_mva(small_network)
+        x = sol.throughput_per_s
+        np.testing.assert_allclose(x, x[0], rtol=1e-6)
+
+    def test_turnaround_is_think_plus_response(self, small_network):
+        sol = solve_mva(small_network)
+        think = np.array(
+            [c.think_time_s + c.cache_time_s for c in small_network.classes]
+        )
+        np.testing.assert_allclose(
+            sol.turnaround_s, think + sol.memory_response_s, rtol=1e-9
+        )
+
+    def test_littles_law_per_class(self, small_network):
+        # X_i * T_i = population (1 per class).
+        sol = solve_mva(small_network)
+        np.testing.assert_allclose(
+            sol.throughput_per_s * sol.turnaround_s, 1.0, rtol=1e-6
+        )
+
+    def test_response_at_least_service_plus_transfer(self, small_network):
+        sol = solve_mva(small_network)
+        floor = 25e-9 + 5e-9  # bank service + bus transfer
+        assert np.all(sol.memory_response_s >= floor * 0.999)
+
+    def test_utilizations_bounded(self, small_network):
+        sol = solve_mva(small_network)
+        assert np.all(sol.bank_utilization <= 1.0)
+        assert np.all(sol.bus_utilization <= 1.0)
+        assert np.all(sol.bank_utilization >= 0.0)
+
+
+class TestMonotonicity:
+    def test_longer_think_time_lowers_throughput(self):
+        fast = solve_mva(make_network(think_ns=20))
+        slow = solve_mva(make_network(think_ns=80))
+        assert slow.total_throughput_per_s < fast.total_throughput_per_s
+
+    def test_slower_bus_raises_response(self):
+        fast = solve_mva(make_network(bus_ns=1.25))
+        slow = solve_mva(make_network(bus_ns=5.0))
+        assert np.all(slow.memory_response_s > fast.memory_response_s)
+
+    def test_slower_banks_raise_response(self):
+        fast = solve_mva(make_network(service_ns=15))
+        slow = solve_mva(make_network(service_ns=45))
+        assert np.all(slow.memory_response_s > fast.memory_response_s)
+
+    def test_more_classes_raise_contention(self):
+        few = solve_mva(make_network(n_classes=2, think_ns=10))
+        many = solve_mva(make_network(n_classes=16, think_ns=10))
+        assert many.memory_response_s.mean() > few.memory_response_s.mean()
+
+    def test_background_traffic_slows_foreground(self, small_network):
+        base = solve_mva(small_network)
+        with_bg = QueueingNetwork(
+            classes=small_network.classes,
+            controllers=small_network.controllers,
+            background=tuple(
+                BackgroundFlow(b, 3e6) for b in range(small_network.total_banks)
+            ),
+        )
+        loaded = solve_mva(with_bg)
+        assert loaded.total_throughput_per_s < base.total_throughput_per_s
+
+
+class TestHeavyLoad:
+    def test_saturation_remains_finite(self):
+        # Near-zero think time: the memory should saturate, not blow up.
+        net = make_network(n_classes=16, think_ns=0.5, service_ns=30, bus_ns=5)
+        sol = solve_mva(net)
+        assert np.all(np.isfinite(sol.memory_response_s))
+        assert np.all(np.isfinite(sol.throughput_per_s))
+        assert sol.bus_utilization[0] > 0.5
+
+    def test_adaptive_damping_converges_heavy_case(self):
+        net = make_network(n_classes=32, think_ns=1.0, service_ns=40, bus_ns=5)
+        sol = solve_mva(net)  # should not raise ConvergenceError
+        assert sol.iterations >= 1
+
+    def test_raises_when_iterations_exhausted(self, small_network):
+        with pytest.raises(ConvergenceError):
+            solve_mva(small_network, max_iterations=2)
+
+
+class TestMultiController:
+    def test_split_controllers_balance(self):
+        net = make_network(n_classes=8, n_banks=8, n_controllers=2)
+        sol = solve_mva(net)
+        assert sol.bus_utilization.shape == (2,)
+        np.testing.assert_allclose(
+            sol.bus_utilization[0], sol.bus_utilization[1], rtol=1e-6
+        )
+
+    def test_visit_probs_shape(self):
+        net = make_network(n_classes=4, n_banks=8, n_controllers=2)
+        sol = solve_mva(net)
+        assert sol.controller_visit_probs.shape == (4, 2)
+        np.testing.assert_allclose(
+            sol.controller_visit_probs.sum(axis=1), 1.0, rtol=1e-9
+        )
+
+    def test_two_controllers_outperform_one(self):
+        # Same total banks, split across two buses: more transfer
+        # capacity, so throughput must not be lower under load.
+        one = solve_mva(make_network(n_classes=16, think_ns=5, n_controllers=1))
+        two = solve_mva(make_network(n_classes=16, think_ns=5, n_controllers=2))
+        assert (
+            two.total_throughput_per_s
+            >= one.total_throughput_per_s * 0.999
+        )
+
+
+class TestWarmStart:
+    def test_warm_start_matches_cold(self, small_network):
+        cold = solve_mva(small_network)
+        warm = solve_mva(
+            small_network, initial_throughput=cold.throughput_per_s.copy()
+        )
+        np.testing.assert_allclose(
+            warm.throughput_per_s, cold.throughput_per_s, rtol=1e-5
+        )
+
+    def test_warm_start_does_not_slow_convergence(self, small_network):
+        # An exact warm start converges in about the same number of
+        # iterations (queue-state settling costs a couple); the value
+        # of warm starts is stability at hard points, not speed here.
+        cold = solve_mva(small_network)
+        warm = solve_mva(
+            small_network, initial_throughput=cold.throughput_per_s.copy()
+        )
+        assert warm.iterations <= cold.iterations + 5

@@ -1,0 +1,136 @@
+"""Network description validation and routing builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queueing.network import (
+    BackgroundFlow,
+    ControllerSpec,
+    JobClassSpec,
+    QueueingNetwork,
+    split_controller_probs,
+    uniform_bank_probs,
+    zipf_bank_probs,
+)
+from repro.units import NS
+
+from tests.conftest import make_network
+
+
+class TestJobClass:
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            JobClassSpec("c", 1e-8, 1e-9, bank_probs=(0.5, 0.4))
+
+    def test_rejects_negative_probs(self):
+        with pytest.raises(ConfigurationError):
+            JobClassSpec("c", 1e-8, 1e-9, bank_probs=(1.5, -0.5))
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ConfigurationError):
+            JobClassSpec("c", -1e-8, 1e-9, bank_probs=(1.0,))
+
+    def test_rejects_zero_population(self):
+        with pytest.raises(ConfigurationError):
+            JobClassSpec("c", 1e-8, 1e-9, bank_probs=(1.0,), population=0)
+
+
+class TestControllerSpec:
+    def test_needs_banks(self):
+        with pytest.raises(ConfigurationError):
+            ControllerSpec(bank_service_s=(), bus_transfer_s=1e-9)
+
+    def test_rejects_nonpositive_service(self):
+        with pytest.raises(ConfigurationError):
+            ControllerSpec(bank_service_s=(0.0,), bus_transfer_s=1e-9)
+
+    def test_rejects_nonpositive_bus(self):
+        with pytest.raises(ConfigurationError):
+            ControllerSpec(bank_service_s=(1e-8,), bus_transfer_s=0.0)
+
+
+class TestNetwork:
+    def test_routing_width_must_match_banks(self):
+        classes = (
+            JobClassSpec("c", 1e-8, 1e-9, bank_probs=uniform_bank_probs(4)),
+        )
+        controller = ControllerSpec(
+            bank_service_s=tuple([1e-8] * 8), bus_transfer_s=1e-9
+        )
+        with pytest.raises(ConfigurationError):
+            QueueingNetwork(classes=classes, controllers=(controller,))
+
+    def test_background_bank_must_exist(self, small_network):
+        with pytest.raises(ConfigurationError):
+            QueueingNetwork(
+                classes=small_network.classes,
+                controllers=small_network.controllers,
+                background=(BackgroundFlow(bank_index=99, rate_per_s=1e6),),
+            )
+
+    def test_bank_controller_map(self):
+        net = make_network(n_classes=2, n_banks=8, n_controllers=2)
+        mapping = net.bank_controller_map()
+        assert list(mapping) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_routing_matrix_rows_sum_to_one(self, small_network):
+        routing = small_network.routing_matrix()
+        np.testing.assert_allclose(routing.sum(axis=1), 1.0)
+
+    def test_background_rate_vector(self, small_network):
+        net = QueueingNetwork(
+            classes=small_network.classes,
+            controllers=small_network.controllers,
+            background=(
+                BackgroundFlow(0, 1e6),
+                BackgroundFlow(0, 2e6),
+                BackgroundFlow(3, 5e6),
+            ),
+        )
+        rates = net.background_rate_vector()
+        assert rates[0] == pytest.approx(3e6)
+        assert rates[3] == pytest.approx(5e6)
+        assert rates[1] == 0.0
+
+    def test_total_population(self, small_network):
+        assert small_network.total_population == 4
+
+
+class TestRoutingBuilders:
+    def test_uniform_probs(self):
+        probs = uniform_bank_probs(8)
+        assert len(probs) == 8
+        assert sum(probs) == pytest.approx(1.0)
+        assert len(set(probs)) == 1
+
+    def test_uniform_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            uniform_bank_probs(0)
+
+    def test_zipf_zero_skew_is_uniform(self):
+        probs = zipf_bank_probs(8, 0.0)
+        assert len(set(round(p, 12) for p in probs)) == 1
+
+    def test_zipf_skew_concentrates(self):
+        probs = zipf_bank_probs(8, 1.5)
+        assert max(probs) > 2.0 / 8
+
+    def test_zipf_shift_rotates_hot_bank(self):
+        base = zipf_bank_probs(8, 1.0, shift=0)
+        shifted = zipf_bank_probs(8, 1.0, shift=3)
+        assert shifted.index(max(shifted)) == (base.index(max(base)) + 3) % 8
+
+    def test_zipf_rejects_negative_skew(self):
+        with pytest.raises(ConfigurationError):
+            zipf_bank_probs(8, -1.0)
+
+    def test_split_controller_probs(self):
+        combined = split_controller_probs(
+            [(0.5, 0.5), (1.0, 0.0)], controller_weights=(0.8, 0.2)
+        )
+        assert combined == pytest.approx((0.4, 0.4, 0.2, 0.0))
+
+    def test_split_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            split_controller_probs([(1.0,), (1.0,)], controller_weights=(0.7, 0.2))

@@ -1,0 +1,72 @@
+"""Multi-request populations (the MLP dimension of the network)."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.eventsim import simulate_network
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import (
+    ControllerSpec,
+    JobClassSpec,
+    QueueingNetwork,
+    uniform_bank_probs,
+)
+from repro.units import NS
+
+
+def make_pop_network(population: int, n_classes: int = 4, think_ns: float = 20.0):
+    n_banks = 8
+    classes = tuple(
+        JobClassSpec(
+            name=f"core{i}",
+            think_time_s=think_ns * NS,
+            cache_time_s=7.5 * NS,
+            bank_probs=uniform_bank_probs(n_banks),
+            population=population,
+        )
+        for i in range(n_classes)
+    )
+    controller = ControllerSpec(
+        bank_service_s=tuple(25 * NS for _ in range(n_banks)),
+        bus_transfer_s=5 * NS,
+    )
+    return QueueingNetwork(classes=classes, controllers=(controller,))
+
+
+class TestMVAPopulation:
+    def test_littles_law_with_population(self):
+        sol = solve_mva(make_pop_network(population=4))
+        np.testing.assert_allclose(
+            sol.throughput_per_s * sol.turnaround_s, 4.0, rtol=1e-5
+        )
+
+    def test_more_outstanding_requests_raise_throughput(self):
+        single = solve_mva(make_pop_network(population=1))
+        quad = solve_mva(make_pop_network(population=4))
+        assert quad.total_throughput_per_s > single.total_throughput_per_s
+
+    def test_throughput_gain_is_sublinear(self):
+        """Contention caps the benefit of memory-level parallelism."""
+        single = solve_mva(make_pop_network(population=1, think_ns=5))
+        octo = solve_mva(make_pop_network(population=8, think_ns=5))
+        gain = octo.total_throughput_per_s / single.total_throughput_per_s
+        assert 1.0 < gain < 8.0
+
+    def test_response_time_grows_with_population(self):
+        single = solve_mva(make_pop_network(population=1))
+        quad = solve_mva(make_pop_network(population=4))
+        assert np.all(quad.memory_response_s > single.memory_response_s)
+
+
+class TestEventSimPopulation:
+    def test_total_population_respected(self):
+        net = make_pop_network(population=3)
+        assert net.total_population == 12
+
+    def test_eventsim_tracks_mva_with_population(self):
+        net = make_pop_network(population=4, think_ns=15)
+        mva = solve_mva(net)
+        sim = simulate_network(net, horizon_s=0.004, warmup_s=0.001, seed=9)
+        rel = abs(mva.total_throughput_per_s - sim.throughput_per_s.sum())
+        rel /= sim.throughput_per_s.sum()
+        assert rel < 0.25

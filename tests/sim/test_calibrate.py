@@ -1,0 +1,44 @@
+"""Peak-power calibration machinery."""
+
+import pytest
+
+from repro.sim.calibrate import measure_peak_power
+from repro.sim.config import MEASURED_PEAK_POWER_W, table2_config
+
+
+def test_measured_peak_close_to_embedded_constant(config16):
+    """The embedded constant must stay in sync with what the simulator
+    actually produces (regenerate via calibrate.measured_peak_table
+    when power models change)."""
+    measured = measure_peak_power(
+        config16, workload_names=["ILP1", "MID2", "MIX4"], epochs_per_workload=3
+    )
+    embedded = MEASURED_PEAK_POWER_W[(16, False, 1, 0.0)]
+    assert measured == pytest.approx(embedded, rel=0.05)
+
+
+def test_peak_grows_with_core_count():
+    peaks = [MEASURED_PEAK_POWER_W[(n, False, 1, 0.0)] for n in (4, 16, 32, 64)]
+    assert peaks == sorted(peaks)
+    # Peak roughly tracks core count (more cores, more power).
+    assert peaks[-1] > 4 * peaks[0]
+
+
+def test_ilp_defines_the_peak(config16):
+    """Compute-bound workloads draw the most at max frequencies."""
+    ilp = measure_peak_power(
+        config16, workload_names=["ILP1"], epochs_per_workload=2
+    )
+    mem = measure_peak_power(
+        config16, workload_names=["MEM1"], epochs_per_workload=2
+    )
+    assert ilp > mem
+
+
+def test_mem_workloads_draw_large_fraction_of_peak(config16):
+    """The stall-floor core power keeps MEM draws high — the regime in
+    which the paper's Fig. 7 core-DVFS behaviour makes sense."""
+    mem = measure_peak_power(
+        config16, workload_names=["MEM1", "MEM4"], epochs_per_workload=2
+    )
+    assert mem > 0.7 * config16.power.peak_power_w

@@ -1,0 +1,88 @@
+"""Per-channel scaling of controller/IO power (the fig13 4MC bug)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import dram_power
+from repro.sim.config import (
+    DDR3Currents,
+    DDR3Timing,
+    MemoryTopology,
+    PowerCalibration,
+    table2_config,
+)
+from repro.sim.dvfs import DVFSLadder
+from repro.units import MHZ
+
+
+@pytest.fixture
+def ladder():
+    return DVFSLadder.from_step(800 * MHZ, 200 * MHZ, 66 * MHZ, 1.5)
+
+
+@pytest.fixture
+def cal():
+    return PowerCalibration()
+
+
+def test_controller_power_scales_with_width(cal, ladder):
+    four = dram_power.controller_power_w(800 * MHZ, ladder, cal, 0.5, channels=4)
+    one = dram_power.controller_power_w(800 * MHZ, ladder, cal, 0.5, channels=1)
+    assert one == pytest.approx(four / 4)
+
+
+def test_bus_io_scales_with_width(cal, ladder):
+    four = dram_power.bus_io_power_w(cal, ladder, 800 * MHZ, 0.5, channels=4)
+    two = dram_power.bus_io_power_w(cal, ladder, 800 * MHZ, 0.5, channels=2)
+    assert two == pytest.approx(four / 2)
+
+
+def test_splitting_channels_conserves_total_power(cal, ladder):
+    """4 one-channel controllers ≈ 1 four-channel controller: the same
+    silicon split differently must not quadruple memory power (this is
+    the invariant the multi-controller study of §IV-B relies on)."""
+    kwargs = dict(
+        currents=DDR3Currents(),
+        timing=DDR3Timing(),
+        calibration=cal,
+        mem_ladder=ladder,
+        bus_frequency_hz=800 * MHZ,
+        row_hit_rate=0.6,
+        bank_utilization=0.4,
+        bus_utilization=0.5,
+    )
+    one_big = dram_power.memory_subsystem_power_w(
+        topology=MemoryTopology(n_controllers=1, channels_per_controller=4),
+        access_rate_per_s=4e8,
+        **kwargs,
+    )
+    four_small = 4 * dram_power.memory_subsystem_power_w(
+        topology=MemoryTopology(n_controllers=4, channels_per_controller=1),
+        access_rate_per_s=1e8,
+        **kwargs,
+    )
+    assert four_small == pytest.approx(one_big, rel=0.05)
+
+
+def test_multi_controller_config_peak_matches_single(config16):
+    """End to end: the 4-controller preset's measured peak is close to
+    the single-controller preset's (same cores, same total memory)."""
+    multi = table2_config(16, n_controllers=4, controller_skew=0.6)
+    single_peak = config16.power.peak_power_w
+    multi_peak = multi.power.peak_power_w
+    assert multi_peak == pytest.approx(single_peak, rel=0.05)
+
+
+def test_sixty_four_core_preset_has_wider_controller():
+    """The 64-core system's 8 channels imply a larger MC/IO block; the
+    per-channel model scales it up rather than pinning the 4-channel
+    reference."""
+    cfg = table2_config(64)
+    assert cfg.memory.channels_per_controller == 8
+    cal = cfg.power
+    ladder = cfg.mem_dvfs
+    eight = dram_power.controller_power_w(
+        800 * MHZ, ladder, cal, 0.5, channels=8
+    )
+    four = dram_power.controller_power_w(800 * MHZ, ladder, cal, 0.5, channels=4)
+    assert eight > 1.5 * four

@@ -1,0 +1,175 @@
+"""Table II presets and configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import (
+    CacheConfig,
+    DDR3Currents,
+    DDR3Timing,
+    EpochConfig,
+    MEASURED_PEAK_POWER_W,
+    MemoryTopology,
+    NoiseConfig,
+    OoOConfig,
+    PAPER_PEAK_POWER_W,
+    table2_config,
+)
+from repro.units import GHZ, MHZ, MS, NS
+
+
+class TestPresets:
+    @pytest.mark.parametrize("n_cores", [4, 16, 32, 64])
+    def test_core_counts(self, n_cores):
+        cfg = table2_config(n_cores)
+        assert cfg.n_cores == n_cores
+
+    def test_rejects_unknown_core_count(self):
+        with pytest.raises(ConfigurationError):
+            table2_config(12)
+
+    def test_core_ladder_matches_paper(self, config16):
+        ladder = config16.core_dvfs
+        assert ladder.levels == 10
+        assert ladder.f_min_hz == pytest.approx(2.2 * GHZ)
+        assert ladder.f_max_hz == pytest.approx(4.0 * GHZ)
+        assert ladder.voltages_v[0] == pytest.approx(0.65)
+        assert ladder.v_max == pytest.approx(1.2)
+
+    def test_memory_ladder_matches_paper(self, config16):
+        ladder = config16.mem_dvfs
+        assert ladder.f_max_hz == pytest.approx(800 * MHZ)
+        assert ladder.f_min_hz == pytest.approx(206 * MHZ)
+        assert ladder.levels == 10
+
+    def test_channel_counts_match_table2(self):
+        # 4 DDR3 channels for 16/32 cores, 8 for 64 cores.
+        assert table2_config(16).memory.total_channels == 4
+        assert table2_config(32).memory.total_channels == 4
+        assert table2_config(64).memory.total_channels == 8
+
+    def test_measured_peak_used_for_canonical_configs(self, config16):
+        key = (16, False, 1, 0.0)
+        assert config16.power.peak_power_w == MEASURED_PEAK_POWER_W[key]
+
+    def test_measured_peaks_track_paper_anchors(self):
+        # Shapes match: measured peak within 25% of the paper's value
+        # and strictly increasing with core count.
+        peaks = [MEASURED_PEAK_POWER_W[(n, False, 1, 0.0)] for n in (4, 16, 32, 64)]
+        anchors = [PAPER_PEAK_POWER_W[n] for n in (4, 16, 32, 64)]
+        for measured, anchor in zip(peaks, anchors):
+            assert abs(measured - anchor) / anchor < 0.25
+        assert peaks == sorted(peaks)
+
+    def test_multi_controller_preset(self):
+        cfg = table2_config(16, n_controllers=4, controller_skew=0.6)
+        assert cfg.memory.n_controllers == 4
+        assert cfg.memory.channels_per_controller == 1
+        assert cfg.memory.controller_skew == 0.6
+
+    def test_rejects_undividable_controllers(self):
+        with pytest.raises(ConfigurationError):
+            table2_config(16, n_controllers=3)
+
+    def test_ooo_preset(self):
+        cfg = table2_config(16, ooo=True)
+        assert cfg.ooo.enabled
+        assert cfg.ooo.window_entries == 128
+
+    def test_epoch_override(self):
+        cfg = table2_config(16, epoch_s=10 * MS)
+        assert cfg.epoch.epoch_s == pytest.approx(10 * MS)
+
+    def test_name_encodes_configuration(self):
+        assert "ooo" in table2_config(16, ooo=True).name
+        assert "4mc" in table2_config(16, n_controllers=4).name
+
+    def test_core_dynamic_power_positive_and_sane(self):
+        for n in (4, 16, 32, 64):
+            dyn = table2_config(n).power.core_max_dynamic_w
+            assert 1.0 < dyn < 10.0
+
+
+class TestBudget:
+    def test_budget_watts(self, config16):
+        assert config16.budget_watts(0.6) == pytest.approx(
+            0.6 * config16.power.peak_power_w
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_budget_fraction_range(self, config16, bad):
+        with pytest.raises(ConfigurationError):
+            config16.budget_watts(bad)
+
+
+class TestComponentValidation:
+    def test_cache_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(l1_size_bytes=0)
+
+    def test_cache_l2_hit_time(self):
+        cache = CacheConfig()
+        assert cache.l2_hit_time_s == pytest.approx(30 / (4 * GHZ))
+
+    def test_timing_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            DDR3Timing(trcd_s=0.0)
+
+    def test_timing_refresh_duty_small(self):
+        duty = DDR3Timing().refresh_duty
+        assert 0.0 < duty < 0.05
+
+    def test_timing_cycle_conversion(self):
+        t = DDR3Timing()
+        assert t.cycles_to_seconds(20, 800 * MHZ) == pytest.approx(25 * NS)
+
+    def test_currents_reject_negative(self):
+        with pytest.raises(ConfigurationError):
+            DDR3Currents(refresh_a=-0.1)
+
+    def test_currents_reject_bad_vdd(self):
+        with pytest.raises(ConfigurationError):
+            DDR3Currents(vdd=0.0)
+
+    def test_topology_bank_count(self):
+        topo = MemoryTopology(channels_per_controller=4, banks_per_channel=8)
+        assert topo.banks_per_controller == 32
+
+    def test_topology_bus_transfer_time(self):
+        topo = MemoryTopology(channels_per_controller=4, bus_cycles_per_transfer=4)
+        # 4 cycles at 800 MHz on one channel = 5 ns; 4 channels -> 1.25 ns.
+        assert topo.bus_transfer_time_s(800 * MHZ) == pytest.approx(1.25 * NS)
+
+    def test_topology_rejects_bad_skew(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTopology(controller_skew=1.5)
+
+    def test_ooo_blocking_fraction_validated_when_enabled(self):
+        with pytest.raises(ConfigurationError):
+            OoOConfig(enabled=True, blocking_fraction=0.0)
+
+    def test_ooo_blocking_fraction_ignored_when_disabled(self):
+        OoOConfig(enabled=False, blocking_fraction=0.0)  # no error
+
+    def test_epoch_profiling_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            EpochConfig(epoch_s=0.0002, profiling_s=0.0003)
+
+    def test_noise_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(counter_rel_sigma=-0.1)
+
+
+class TestSystemConfig:
+    def test_min_bus_transfer(self, config16):
+        assert config16.min_bus_transfer_s == pytest.approx(1.25 * NS)
+
+    def test_bus_transfer_scales_inverse_frequency(self, config16):
+        fast = config16.bus_transfer_s(800 * MHZ)
+        slow = config16.bus_transfer_s(400 * MHZ)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_with_updates_is_functional(self, config16):
+        updated = config16.with_updates(n_cores=32)
+        assert updated.n_cores == 32
+        assert config16.n_cores == 16

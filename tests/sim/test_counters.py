@@ -1,0 +1,108 @@
+"""Performance-counter derivations (paper Eq. 9 and Eq. 1)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sim.counters import ControllerCounters, CoreCounters, EpochCounters
+from repro.units import GHZ, NS, US
+
+
+def make_core(**overrides):
+    defaults = dict(
+        instructions=1e5,
+        llc_misses=500.0,
+        busy_time_s=150 * US,
+        window_s=300 * US,
+        cache_time_s=7.5 * NS,
+        frequency_hz=4 * GHZ,
+        power_w=3.0,
+        memory_response_s=50 * NS,
+        controller_visits=(1.0,),
+    )
+    defaults.update(overrides)
+    return CoreCounters(**defaults)
+
+
+class TestCoreCounters:
+    def test_think_time(self):
+        core = make_core()
+        assert core.think_time_s() == pytest.approx(150 * US / 500)
+
+    def test_min_think_time_scales_with_frequency(self):
+        # Measured at 2 GHz on a 4 GHz-max ladder: z̄ is half of z.
+        core = make_core(frequency_hz=2 * GHZ)
+        assert core.min_think_time_s(4 * GHZ) == pytest.approx(
+            core.think_time_s() * 0.5
+        )
+
+    def test_min_think_time_at_max_frequency_is_identity(self):
+        core = make_core(frequency_hz=4 * GHZ)
+        assert core.min_think_time_s(4 * GHZ) == pytest.approx(
+            core.think_time_s()
+        )
+
+    def test_min_think_rejects_bad_fmax(self):
+        with pytest.raises(ModelError):
+            make_core().min_think_time_s(0.0)
+
+    def test_no_misses_yields_busy_time(self):
+        core = make_core(llc_misses=0.0)
+        assert core.think_time_s() == core.busy_time_s
+        assert core.instructions_per_miss() == float("inf")
+
+    def test_instructions_per_miss(self):
+        assert make_core().instructions_per_miss() == pytest.approx(200.0)
+
+    def test_ips_and_cpi(self):
+        core = make_core()
+        assert core.ips() == pytest.approx(1e5 / (300 * US))
+        assert core.cpi() == pytest.approx(4 * GHZ / (1e5 / (300 * US)))
+
+
+class TestControllerCounters:
+    def test_equation_one(self):
+        ctrl = ControllerCounters(
+            q=2.0,
+            u=1.5,
+            bank_service_s=25 * NS,
+            bus_utilization=0.4,
+            arrival_rate_per_s=2e8,
+        )
+        expected = 2.0 * (25 * NS + 1.5 * 5 * NS)
+        assert ctrl.response_time_s(5 * NS) == pytest.approx(expected)
+
+    def test_rejects_nonpositive_sb(self):
+        ctrl = ControllerCounters(2.0, 1.5, 25 * NS, 0.4, 2e8)
+        with pytest.raises(ModelError):
+            ctrl.response_time_s(0.0)
+
+
+class TestEpochCounters:
+    def test_weighted_response_mixes_controllers(self):
+        ctrl_a = ControllerCounters(2.0, 1.0, 20 * NS, 0.3, 1e8)
+        ctrl_b = ControllerCounters(4.0, 2.0, 30 * NS, 0.6, 2e8)
+        core = make_core(controller_visits=(0.25, 0.75))
+        counters = EpochCounters(
+            epoch_index=0,
+            cores=(core,),
+            controllers=(ctrl_a, ctrl_b),
+            memory_power_w=20.0,
+            total_power_w=80.0,
+            bus_frequency_hz=800e6,
+        )
+        s_b = 5 * NS
+        expected = 0.25 * ctrl_a.response_time_s(s_b) + 0.75 * ctrl_b.response_time_s(
+            s_b
+        )
+        assert counters.weighted_response_s(0, s_b) == pytest.approx(expected)
+
+    def test_n_cores(self):
+        counters = EpochCounters(
+            epoch_index=0,
+            cores=(make_core(), make_core()),
+            controllers=(ControllerCounters(2.0, 1.0, 20 * NS, 0.3, 1e8),),
+            memory_power_w=20.0,
+            total_power_w=80.0,
+            bus_frequency_hz=800e6,
+        )
+        assert counters.n_cores == 2

@@ -1,0 +1,82 @@
+"""Core power model: CMOS scaling behaviour and the paper's α band."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sim import cpu_power
+from repro.sim.config import PowerCalibration
+from repro.sim.dvfs import DVFSLadder
+from repro.units import GHZ
+
+
+@pytest.fixture
+def ladder():
+    return DVFSLadder.linear(2.2 * GHZ, 4.0 * GHZ, 10, 0.65, 1.2)
+
+
+@pytest.fixture
+def cal():
+    return PowerCalibration(core_max_dynamic_w=4.0, core_static_w=0.8)
+
+
+class TestDynamic:
+    def test_max_point(self, ladder, cal):
+        p = cpu_power.core_dynamic_power_w(ladder, cal, 4.0 * GHZ, 1.0)
+        assert p == pytest.approx(4.0)
+
+    def test_monotone_in_frequency(self, ladder, cal):
+        values = [
+            cpu_power.core_dynamic_power_w(ladder, cal, f, 0.8)
+            for f in ladder.frequencies_hz
+        ]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_activity(self, ladder, cal):
+        low = cpu_power.core_dynamic_power_w(ladder, cal, 3 * GHZ, 0.2)
+        high = cpu_power.core_dynamic_power_w(ladder, cal, 3 * GHZ, 0.9)
+        assert high > low
+
+    def test_stall_floor_is_substantial(self, ladder, cal):
+        # Stalled cores keep clocking: > 40% of the active power.
+        stalled = cpu_power.core_dynamic_power_w(ladder, cal, 4 * GHZ, 0.0)
+        active = cpu_power.core_dynamic_power_w(ladder, cal, 4 * GHZ, 1.0)
+        assert stalled > 0.4 * active
+
+    def test_intensity_scales(self, ladder, cal):
+        base = cpu_power.core_dynamic_power_w(ladder, cal, 3 * GHZ, 0.5, 1.0)
+        hot = cpu_power.core_dynamic_power_w(ladder, cal, 3 * GHZ, 0.5, 1.2)
+        assert hot == pytest.approx(1.2 * base)
+
+    def test_rejects_bad_activity(self, ladder, cal):
+        with pytest.raises(ModelError):
+            cpu_power.core_dynamic_power_w(ladder, cal, 3 * GHZ, 1.5)
+
+    def test_rejects_bad_intensity(self, ladder, cal):
+        with pytest.raises(ModelError):
+            cpu_power.core_dynamic_power_w(ladder, cal, 3 * GHZ, 0.5, 0.0)
+
+
+class TestStatic:
+    def test_leakage_grows_with_voltage(self, ladder, cal):
+        low = cpu_power.core_static_power_w(ladder, cal, ladder.f_min_hz)
+        high = cpu_power.core_static_power_w(ladder, cal, ladder.f_max_hz)
+        assert low < high
+
+    def test_max_voltage_value(self, ladder, cal):
+        p = cpu_power.core_static_power_w(ladder, cal, ladder.f_max_hz)
+        assert p == pytest.approx(0.8)
+
+
+class TestTotal:
+    def test_total_is_sum(self, ladder, cal):
+        total = cpu_power.core_power_w(ladder, cal, 3 * GHZ, 0.5)
+        dyn = cpu_power.core_dynamic_power_w(ladder, cal, 3 * GHZ, 0.5)
+        stat = cpu_power.core_static_power_w(ladder, cal, 3 * GHZ)
+        assert total == pytest.approx(dyn + stat)
+
+
+def test_fitted_alpha_in_paper_band(ladder):
+    # The paper reports alpha "typically between 2 and 3"; proportional
+    # V-f scaling puts the fit at the upper end of that band.
+    alpha = cpu_power.fitted_alpha(ladder)
+    assert 2.0 <= alpha <= 3.2

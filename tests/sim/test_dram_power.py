@@ -1,0 +1,189 @@
+"""DRAM / memory-controller power model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sim import dram_power
+from repro.sim.config import (
+    DDR3Currents,
+    DDR3Timing,
+    MemoryTopology,
+    PowerCalibration,
+)
+from repro.sim.dvfs import DVFSLadder
+from repro.units import MHZ
+
+
+@pytest.fixture
+def topo():
+    return MemoryTopology()
+
+
+@pytest.fixture
+def currents():
+    return DDR3Currents()
+
+
+@pytest.fixture
+def timing():
+    return DDR3Timing()
+
+
+@pytest.fixture
+def cal():
+    return PowerCalibration()
+
+
+@pytest.fixture
+def ladder():
+    return DVFSLadder.from_step(800 * MHZ, 200 * MHZ, 66 * MHZ, 1.5)
+
+
+class TestBackground:
+    def test_idle_below_busy(self, topo, currents):
+        idle = dram_power.background_power_w(topo, currents, 0.0)
+        busy = dram_power.background_power_w(topo, currents, 1.0)
+        assert 0 < idle < busy
+
+    def test_monotone_in_utilization(self, topo, currents):
+        values = [
+            dram_power.background_power_w(topo, currents, u / 10)
+            for u in range(11)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_powerdown_saves_energy(self, topo, currents):
+        deep = dram_power.background_power_w(
+            topo, currents, 0.0, powerdown_fraction=1.0
+        )
+        shallow = dram_power.background_power_w(
+            topo, currents, 0.0, powerdown_fraction=0.0
+        )
+        assert deep < shallow
+
+    def test_rejects_bad_utilization(self, topo, currents):
+        with pytest.raises(ModelError):
+            dram_power.background_power_w(topo, currents, 1.5)
+
+    def test_scales_with_devices(self, currents):
+        small = MemoryTopology(chips_per_rank=4)
+        large = MemoryTopology(chips_per_rank=8)
+        p_small = dram_power.background_power_w(small, currents, 0.5)
+        p_large = dram_power.background_power_w(large, currents, 0.5)
+        assert p_large == pytest.approx(2 * p_small)
+
+
+class TestRefresh:
+    def test_positive_but_small(self, topo, currents, timing):
+        p = dram_power.refresh_power_w(topo, currents, timing)
+        assert 0 < p < 2.0
+
+
+class TestAccess:
+    def test_zero_rate_zero_power(self, cal):
+        assert dram_power.access_power_w(cal, 0.0, 0.6) == 0.0
+
+    def test_linear_in_rate(self, cal):
+        p1 = dram_power.access_power_w(cal, 1e8, 0.6)
+        p2 = dram_power.access_power_w(cal, 2e8, 0.6)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_row_hits_cost_less(self, cal):
+        hits = dram_power.access_power_w(cal, 1e8, 0.9)
+        misses = dram_power.access_power_w(cal, 1e8, 0.1)
+        assert hits < misses
+
+    def test_rejects_negative_rate(self, cal):
+        with pytest.raises(ModelError):
+            dram_power.access_power_w(cal, -1.0, 0.6)
+
+
+class TestBusIo:
+    def test_scales_with_frequency(self, cal, ladder):
+        fast = dram_power.bus_io_power_w(cal, ladder, 800 * MHZ, 0.5)
+        slow = dram_power.bus_io_power_w(cal, ladder, 400 * MHZ, 0.5)
+        assert slow == pytest.approx(fast / 2)
+
+    def test_idle_floor(self, cal, ladder):
+        idle = dram_power.bus_io_power_w(cal, ladder, 800 * MHZ, 0.0)
+        assert idle > 0
+
+
+class TestController:
+    def test_dvfs_saves_superlinearly(self, cal, ladder):
+        # Controller voltage-scales, so power drops faster than f.
+        full = dram_power.controller_power_w(800 * MHZ, ladder, cal, 0.5)
+        half = dram_power.controller_power_w(400 * MHZ, ladder, cal, 0.5)
+        static = cal.mc_static_w
+        assert (half - static) < 0.5 * (full - static)
+
+    def test_static_floor(self, cal, ladder):
+        p = dram_power.controller_power_w(206 * MHZ, ladder, cal, 0.0)
+        assert p > cal.mc_static_w
+
+
+class TestSubsystem:
+    def test_composes_all_terms(self, topo, currents, timing, cal, ladder):
+        total = dram_power.memory_subsystem_power_w(
+            topology=topo,
+            currents=currents,
+            timing=timing,
+            calibration=cal,
+            mem_ladder=ladder,
+            bus_frequency_hz=800 * MHZ,
+            access_rate_per_s=2e8,
+            row_hit_rate=0.6,
+            bank_utilization=0.4,
+            bus_utilization=0.5,
+        )
+        dram_only = dram_power.dram_power_w(
+            topology=topo,
+            currents=currents,
+            timing=timing,
+            calibration=cal,
+            access_rate_per_s=2e8,
+            row_hit_rate=0.6,
+            bank_utilization=0.4,
+            bus_utilization=0.5,
+            bus_frequency_hz=800 * MHZ,
+        )
+        assert total > dram_only
+
+    def test_memory_dvfs_saves_power(self, topo, currents, timing, cal, ladder):
+        kwargs = dict(
+            topology=topo,
+            currents=currents,
+            timing=timing,
+            calibration=cal,
+            mem_ladder=ladder,
+            access_rate_per_s=2e8,
+            row_hit_rate=0.6,
+            bank_utilization=0.4,
+            bus_utilization=0.5,
+        )
+        fast = dram_power.memory_subsystem_power_w(
+            bus_frequency_hz=800 * MHZ, **kwargs
+        )
+        slow = dram_power.memory_subsystem_power_w(
+            bus_frequency_hz=206 * MHZ, **kwargs
+        )
+        assert slow < fast
+
+    def test_sixteen_core_load_in_expected_band(
+        self, topo, currents, timing, cal, ladder
+    ):
+        # Under heavy load the memory subsystem should draw a sizable
+        # chunk of system power (paper: ~30% of ~120 W).
+        total = dram_power.memory_subsystem_power_w(
+            topology=topo,
+            currents=currents,
+            timing=timing,
+            calibration=cal,
+            mem_ladder=ladder,
+            bus_frequency_hz=800 * MHZ,
+            access_rate_per_s=3.5e8,
+            row_hit_rate=0.65,
+            bank_utilization=0.35,
+            bus_utilization=0.45,
+        )
+        assert 20.0 < total < 50.0

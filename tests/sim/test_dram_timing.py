@@ -1,0 +1,69 @@
+"""Bank service model derived from DDR3 timing."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sim.config import DDR3Timing
+from repro.sim.dram_timing import BankServiceModel
+from repro.units import MHZ, NS
+
+
+@pytest.fixture
+def model():
+    return BankServiceModel(timing=DDR3Timing(), reference_bus_hz=800 * MHZ)
+
+
+class TestServiceTimes:
+    def test_row_hit_is_cas_only(self, model):
+        assert model.row_hit_service_s() == pytest.approx(15 * NS)
+
+    def test_row_miss_adds_precharge_and_activate(self, model):
+        assert model.row_miss_service_s() == pytest.approx(45 * NS)
+
+    def test_mean_interpolates(self, model):
+        mean = model.mean_service_s(0.5)
+        assert mean == pytest.approx(30 * NS)
+
+    def test_mean_at_extremes(self, model):
+        assert model.mean_service_s(1.0) == pytest.approx(15 * NS)
+        assert model.mean_service_s(0.0) == pytest.approx(45 * NS)
+
+    def test_mean_monotone_in_hit_rate(self, model):
+        values = [model.mean_service_s(h / 10) for h in range(11)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_hit_rate(self, model):
+        with pytest.raises(ModelError):
+            model.mean_service_s(1.5)
+
+
+class TestInflation:
+    def test_refresh_inflation_small_but_positive(self, model):
+        factor = model.refresh_inflation_factor()
+        assert 1.0 < factor < 1.05
+
+    def test_activation_throttle_at_zero_rate(self, model):
+        assert model.activation_throttle_factor(0.0) == 1.0
+
+    def test_activation_throttle_grows_with_rate(self, model):
+        low = model.activation_throttle_factor(1e6)
+        high = model.activation_throttle_factor(1e8)
+        assert high > low
+
+    def test_activation_throttle_capped(self, model):
+        # Even absurd rates stay finite (rho capped at 0.9).
+        assert model.activation_throttle_factor(1e12) <= 10.0 + 1e-9
+
+    def test_activation_rejects_negative_rate(self, model):
+        with pytest.raises(ModelError):
+            model.activation_throttle_factor(-1.0)
+
+    def test_effective_service_composes(self, model):
+        base = model.mean_service_s(0.6)
+        effective = model.effective_service_s(0.6, activation_rate_per_s=0.0)
+        assert effective == pytest.approx(base * model.refresh_inflation_factor())
+
+    def test_effective_service_grows_with_activations(self, model):
+        quiet = model.effective_service_s(0.6, 0.0)
+        busy = model.effective_service_s(0.6, 5e7)
+        assert busy > quiet

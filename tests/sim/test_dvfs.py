@@ -1,0 +1,142 @@
+"""DVFS ladder construction, interpolation and quantisation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.dvfs import DVFSLadder, scaling_factor_candidates
+from repro.units import GHZ, MHZ
+
+
+@pytest.fixture
+def core_ladder():
+    return DVFSLadder.linear(2.2 * GHZ, 4.0 * GHZ, 10, 0.65, 1.2)
+
+
+@pytest.fixture
+def mem_ladder():
+    return DVFSLadder.from_step(800 * MHZ, 200 * MHZ, 66 * MHZ, 1.5)
+
+
+class TestConstruction:
+    def test_linear_has_requested_levels(self, core_ladder):
+        assert core_ladder.levels == 10
+
+    def test_linear_endpoints(self, core_ladder):
+        assert core_ladder.f_min_hz == pytest.approx(2.2 * GHZ)
+        assert core_ladder.f_max_hz == pytest.approx(4.0 * GHZ)
+        assert core_ladder.voltages_v[0] == pytest.approx(0.65)
+        assert core_ladder.v_max == pytest.approx(1.2)
+
+    def test_linear_equal_spacing(self, core_ladder):
+        diffs = [
+            b - a
+            for a, b in zip(
+                core_ladder.frequencies_hz, core_ladder.frequencies_hz[1:]
+            )
+        ]
+        assert all(d == pytest.approx(0.2 * GHZ) for d in diffs)
+
+    def test_from_step_matches_paper_memory_ladder(self, mem_ladder):
+        # 800 down in 66 MHz steps stops at 206 MHz: ten levels.
+        assert mem_ladder.levels == 10
+        assert mem_ladder.f_max_hz == pytest.approx(800 * MHZ)
+        assert mem_ladder.f_min_hz == pytest.approx(206 * MHZ)
+
+    def test_from_step_fixed_voltage(self, mem_ladder):
+        assert set(mem_ladder.voltages_v) == {1.5}
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ConfigurationError):
+            DVFSLadder((1e9,), (1.0,))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            DVFSLadder((1e9, 2e9), (1.0,))
+
+    def test_rejects_descending_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            DVFSLadder((2e9, 1e9), (1.0, 1.1))
+
+    def test_rejects_decreasing_voltage(self):
+        with pytest.raises(ConfigurationError):
+            DVFSLadder((1e9, 2e9), (1.2, 1.0))
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            DVFSLadder((0.0, 2e9), (1.0, 1.1))
+
+    def test_linear_rejects_single_level(self):
+        with pytest.raises(ConfigurationError):
+            DVFSLadder.linear(1e9, 2e9, 1, 0.6, 1.2)
+
+    def test_linear_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            DVFSLadder.linear(2e9, 1e9, 4, 0.6, 1.2)
+
+    def test_from_step_rejects_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            DVFSLadder.from_step(800 * MHZ, 200 * MHZ, 0.0, 1.5)
+
+
+class TestInterpolation:
+    def test_voltage_at_endpoints(self, core_ladder):
+        assert core_ladder.voltage_at(2.2 * GHZ) == pytest.approx(0.65)
+        assert core_ladder.voltage_at(4.0 * GHZ) == pytest.approx(1.2)
+
+    def test_voltage_clamps_outside_range(self, core_ladder):
+        assert core_ladder.voltage_at(1.0 * GHZ) == pytest.approx(0.65)
+        assert core_ladder.voltage_at(9.0 * GHZ) == pytest.approx(1.2)
+
+    def test_voltage_interpolates_midpoint(self, core_ladder):
+        mid_f = (2.2 + 4.0) / 2 * GHZ
+        assert core_ladder.voltage_at(mid_f) == pytest.approx((0.65 + 1.2) / 2)
+
+    def test_voltage_monotone(self, core_ladder):
+        freqs = [2.0 * GHZ + i * 0.1 * GHZ for i in range(25)]
+        volts = [core_ladder.voltage_at(f) for f in freqs]
+        assert all(b >= a for a, b in zip(volts, volts[1:]))
+
+
+class TestQuantisation:
+    def test_quantize_exact_level(self, core_ladder):
+        for f in core_ladder.frequencies_hz:
+            assert core_ladder.quantize(f) == f
+
+    def test_quantize_rounds_to_nearest(self, core_ladder):
+        f0, f1 = core_ladder.frequencies_hz[0], core_ladder.frequencies_hz[1]
+        just_below_mid = f0 + 0.49 * (f1 - f0)
+        just_above_mid = f0 + 0.51 * (f1 - f0)
+        assert core_ladder.quantize(just_below_mid) == f0
+        assert core_ladder.quantize(just_above_mid) == f1
+
+    def test_quantize_clamps(self, core_ladder):
+        assert core_ladder.quantize(0.5 * GHZ) == core_ladder.f_min_hz
+        assert core_ladder.quantize(99 * GHZ) == core_ladder.f_max_hz
+
+    def test_quantize_ratio(self, core_ladder):
+        assert core_ladder.quantize_ratio(1.0) == core_ladder.f_max_hz
+        assert core_ladder.quantize_ratio(0.0) == core_ladder.f_min_hz
+
+    def test_index_of_exact(self, core_ladder):
+        for i, f in enumerate(core_ladder.frequencies_hz):
+            assert core_ladder.index_of(f) == i
+
+    def test_index_of_rejects_off_ladder(self, core_ladder):
+        with pytest.raises(ConfigurationError):
+            core_ladder.index_of(3.05 * GHZ)
+
+    def test_clamp(self, core_ladder):
+        assert core_ladder.clamp(1 * GHZ) == core_ladder.f_min_hz
+        assert core_ladder.clamp(5 * GHZ) == core_ladder.f_max_hz
+        assert core_ladder.clamp(3 * GHZ) == 3 * GHZ
+
+    def test_ratio(self, core_ladder):
+        assert core_ladder.ratio(core_ladder.f_max_hz) == pytest.approx(1.0)
+        assert core_ladder.ratio(2.0 * GHZ) == pytest.approx(0.5)
+
+
+def test_scaling_factor_candidates_ascend(core_ladder):
+    factors = scaling_factor_candidates(core_ladder)
+    assert len(factors) == core_ladder.levels
+    assert factors[-1] == pytest.approx(1.0)
+    assert all(b > a for a, b in zip(factors, factors[1:]))

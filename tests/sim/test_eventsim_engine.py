@@ -1,0 +1,59 @@
+"""The event-driven engine mode of the server simulator.
+
+Validates the DESIGN.md claim that capping conclusions do not depend on
+the AMVA approximation: a short capped run with the event-driven back
+end must agree with the analytic back end on power and throughput to
+within modelling tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies import make_policy
+from repro.sim.config import table2_config
+from repro.sim.server import FrequencySettings, ServerSimulator
+from repro.workloads import get_workload
+
+
+def test_rejects_unknown_engine(config16):
+    with pytest.raises(ConfigurationError):
+        ServerSimulator(config16, get_workload("MID1"), engine="magic")
+
+
+def test_operating_point_agrees_with_mva(config16):
+    settings = FrequencySettings.all_max(config16)
+    mva = ServerSimulator(
+        config16, get_workload("MID2"), seed=3, engine="mva"
+    ).solve_operating_point(settings, np.zeros(16))
+    event = ServerSimulator(
+        config16, get_workload("MID2"), seed=3, engine="eventsim"
+    ).solve_operating_point(settings, np.zeros(16))
+    ips_ratio = event.per_core_ips.sum() / mva.per_core_ips.sum()
+    assert 0.75 < ips_ratio < 1.25
+    power_ratio = event.total_power_w / mva.total_power_w
+    assert 0.85 < power_ratio < 1.15
+
+
+@pytest.mark.slow
+def test_capped_run_agrees_with_mva_engine(config16):
+    def run(engine):
+        sim = ServerSimulator(
+            config16, get_workload("MIX2"), seed=3, engine=engine
+        )
+        return sim.run(
+            make_policy("fastcap"),
+            0.6,
+            instruction_quota=None,
+            max_epochs=5,
+        )
+
+    mva_run = run("mva")
+    event_run = run("eventsim")
+    assert event_run.mean_power_w() == pytest.approx(
+        mva_run.mean_power_w(), rel=0.10
+    )
+    # Both engines respect the cap.
+    assert event_run.mean_power_w() <= event_run.budget_watts * 1.05
+    ips_ratio = event_run.instructions.sum() / mva_run.instructions.sum()
+    assert 0.7 < ips_ratio < 1.3

@@ -1,0 +1,72 @@
+"""Out-of-order window backpressure (the §IV-B OoO model).
+
+These tests pin the behaviour that fixing fig13's OoO pathology
+required: non-blocking OoO traffic must be throttled by the window as
+the memory saturates, never acting as an uncontrolled open flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import table2_config
+from repro.sim.server import FrequencySettings, ServerSimulator
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def ooo_config():
+    return table2_config(16, ooo=True)
+
+
+def _ips_at(config, workload, bus_frequency_hz, seed=5):
+    sim = ServerSimulator(config, get_workload(workload), seed=seed)
+    settings = FrequencySettings(
+        tuple(config.core_dvfs.f_max_hz for _ in range(config.n_cores)),
+        bus_frequency_hz,
+    )
+    op = sim.solve_operating_point(settings, np.zeros(config.n_cores))
+    return op
+
+
+class TestBackpressure:
+    def test_slow_memory_degrades_gracefully(self, ooo_config, config16):
+        """Dropping the bus to minimum must not collapse OoO throughput
+        catastrophically more than in-order (the window backpressure
+        converts hidden misses into stalls instead of unbounded queues)."""
+        f_max = ooo_config.mem_dvfs.f_max_hz
+        f_min = ooo_config.mem_dvfs.f_min_hz
+        ooo_ratio = (
+            _ips_at(ooo_config, "MEM4", f_min).per_core_ips.sum()
+            / _ips_at(ooo_config, "MEM4", f_max).per_core_ips.sum()
+        )
+        in_order_ratio = (
+            _ips_at(config16, "MEM4", f_min).per_core_ips.sum()
+            / _ips_at(config16, "MEM4", f_max).per_core_ips.sum()
+        )
+        assert ooo_ratio > 0.2  # no collapse
+        assert ooo_ratio > in_order_ratio * 0.5
+
+    def test_ooo_outperforms_in_order_at_max(self, ooo_config, config16):
+        """At maximum frequencies OoO hides misses: memory-bound IPS
+        must beat the in-order configuration's."""
+        ooo = _ips_at(ooo_config, "MEM2", ooo_config.mem_dvfs.f_max_hz)
+        in_order = _ips_at(config16, "MEM2", config16.mem_dvfs.f_max_hz)
+        assert ooo.per_core_ips.sum() > in_order.per_core_ips.sum()
+
+    def test_ooo_raises_bus_utilization(self, ooo_config, config16):
+        ooo = _ips_at(ooo_config, "MEM2", ooo_config.mem_dvfs.f_max_hz)
+        in_order = _ips_at(config16, "MEM2", config16.mem_dvfs.f_max_hz)
+        assert (
+            ooo.solution.bus_utilization.mean()
+            > in_order.solution.bus_utilization.mean()
+        )
+
+    def test_compute_bound_unaffected_by_ooo_memory_modelling(
+        self, ooo_config, config16
+    ):
+        """ILP workloads barely touch memory: OoO mode must not change
+        their throughput by more than a few percent."""
+        ooo = _ips_at(ooo_config, "ILP2", ooo_config.mem_dvfs.f_max_hz)
+        in_order = _ips_at(config16, "ILP2", config16.mem_dvfs.f_max_hz)
+        ratio = ooo.per_core_ips.sum() / in_order.per_core_ips.sum()
+        assert 0.95 < ratio < 1.10

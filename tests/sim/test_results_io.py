@@ -1,0 +1,62 @@
+"""Run-result persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.power import summarize_power
+from repro.sim.results_io import (
+    load_run_result,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_run_result,
+)
+from repro.sim.server import MaxFrequencyPolicy, ServerSimulator
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def real_run(config16):
+    sim = ServerSimulator(config16, get_workload("MID1"), seed=8)
+    return sim.run(
+        MaxFrequencyPolicy(), 1.0, instruction_quota=None, max_epochs=3
+    )
+
+
+def test_dict_round_trip(real_run):
+    restored = run_result_from_dict(run_result_to_dict(real_run))
+    assert restored.policy_name == real_run.policy_name
+    assert restored.n_epochs == real_run.n_epochs
+    assert restored.mean_power_w() == pytest.approx(real_run.mean_power_w())
+    np.testing.assert_allclose(restored.instructions, real_run.instructions)
+
+
+def test_file_round_trip(tmp_path, real_run):
+    path = str(tmp_path / "run.json")
+    save_run_result(real_run, path)
+    restored = load_run_result(path)
+    np.testing.assert_allclose(
+        restored.per_core_tpi_s(), real_run.per_core_tpi_s()
+    )
+
+
+def test_metrics_work_on_restored_result(tmp_path, real_run):
+    path = str(tmp_path / "run.json")
+    save_run_result(real_run, path)
+    restored = load_run_result(path)
+    stats = summarize_power(restored)
+    assert stats.mean_w == pytest.approx(real_run.mean_power_w())
+
+
+def test_epoch_fields_preserved(real_run):
+    restored = run_result_from_dict(run_result_to_dict(real_run))
+    original = real_run.epochs[0]
+    copy = restored.epochs[0]
+    assert copy.core_frequencies_hz == original.core_frequencies_hz
+    assert copy.bus_frequency_hz == original.bus_frequency_hz
+    assert copy.decision_time_s == original.decision_time_s
+
+
+def test_version_gate():
+    with pytest.raises(ExperimentError):
+        run_result_from_dict({"format_version": 99})

@@ -1,0 +1,81 @@
+"""RunResult / EpochRecord accounting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.server import EpochRecord, RunResult
+
+
+def make_epoch(index=0, power=60.0, duration=0.005, budget=65.0, decision=1e-4):
+    return EpochRecord(
+        index=index,
+        start_time_s=index * duration,
+        duration_s=duration,
+        core_frequencies_hz=(4e9, 4e9),
+        bus_frequency_hz=800e6,
+        total_power_w=power,
+        cpu_power_w=power * 0.6,
+        memory_power_w=power * 0.3,
+        per_core_ips=(1e9, 2e9),
+        decision_time_s=decision,
+        budget_watts=budget,
+    )
+
+
+@pytest.fixture
+def result():
+    run = RunResult(
+        policy_name="p",
+        workload_name="w",
+        config_name="c",
+        budget_fraction=0.6,
+        budget_watts=65.0,
+        peak_power_w=109.3,
+        app_names=("a", "b"),
+    )
+    run.epochs = [make_epoch(0, 60.0), make_epoch(1, 70.0), make_epoch(2, 62.0)]
+    run.instructions = np.array([1e8, 2e8])
+    run.elapsed_s = 0.015
+    return run
+
+
+class TestEpochRecord:
+    def test_violation_flag(self):
+        assert make_epoch(power=70.0, budget=65.0).violation
+        assert not make_epoch(power=64.9, budget=65.0).violation
+
+    def test_violation_tolerance_band(self):
+        # 0.1% band absorbs float noise.
+        assert not make_epoch(power=65.05, budget=65.0).violation
+
+    def test_power_fraction(self):
+        epoch = make_epoch(power=32.5, budget=65.0)
+        assert epoch.power_fraction_of_budget == pytest.approx(0.5)
+
+
+class TestRunResult:
+    def test_mean_power_time_weighted(self, result):
+        assert result.mean_power_w() == pytest.approx((60 + 70 + 62) / 3)
+
+    def test_max_epoch_power(self, result):
+        assert result.max_epoch_power_w() == 70.0
+
+    def test_per_core_tpi(self, result):
+        tpi = result.per_core_tpi_s()
+        assert tpi[0] == pytest.approx(0.015 / 1e8)
+        assert tpi[1] == pytest.approx(0.015 / 2e8)
+
+    def test_mean_decision_time(self, result):
+        assert result.mean_decision_time_s() == pytest.approx(1e-4)
+
+    def test_mean_decision_time_ignores_zeroes(self, result):
+        result.epochs.append(make_epoch(3, decision=0.0))
+        assert result.mean_decision_time_s() == pytest.approx(1e-4)
+
+    def test_power_series_alignment(self, result):
+        t, p = result.power_series()
+        assert list(t) == [0.0, 0.005, 0.010]
+        assert list(p) == [60.0, 70.0, 62.0]
+
+    def test_n_epochs(self, result):
+        assert result.n_epochs == 3

@@ -1,0 +1,39 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults_to_quick(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.command == "run"
+        assert args.experiment == "fig3"
+        assert not args.full
+
+    def test_run_full_flag(self):
+        args = build_parser().parse_args(["run", "table1", "--full"])
+        assert args.full
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "table1" in out
+
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "MEM1" in out
+        assert "paper MPKI" in out

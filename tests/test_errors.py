@@ -1,0 +1,34 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for cls in (
+        errors.ConfigurationError,
+        errors.ModelError,
+        errors.ConvergenceError,
+        errors.InfeasibleBudgetError,
+        errors.WorkloadError,
+        errors.ExperimentError,
+    ):
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_convergence_is_a_model_error():
+    assert issubclass(errors.ConvergenceError, errors.ModelError)
+
+
+def test_infeasible_budget_carries_values():
+    err = errors.InfeasibleBudgetError(50.0, 62.5)
+    assert err.budget_watts == 50.0
+    assert err.floor_watts == 62.5
+    assert "50.00" in str(err)
+    assert "62.50" in str(err)
+
+
+def test_repro_error_is_catchable_as_exception():
+    with pytest.raises(Exception):
+        raise errors.WorkloadError("nope")

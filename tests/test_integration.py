@@ -1,0 +1,140 @@
+"""Full-stack integration tests: the paper's headline claims, small-scale.
+
+Each test runs the real simulator + governor end to end on shrunken
+quotas and asserts the qualitative result the corresponding part of the
+evaluation reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.fairness import fairness_gap
+from repro.metrics.performance import normalized_degradation
+from repro.metrics.power import summarize_power
+from repro.policies import make_policy
+from repro.sim.config import table2_config
+from repro.sim.server import MaxFrequencyPolicy, ServerSimulator
+from repro.workloads import get_workload
+
+QUICK_QUOTA = 15e6
+
+
+def run_policy(policy_name, workload, budget, n_cores=16, seed=1, **cfg_kwargs):
+    config = table2_config(n_cores, **cfg_kwargs)
+    sim = ServerSimulator(config, get_workload(workload), seed=seed)
+    return sim.run(
+        make_policy(policy_name), budget, instruction_quota=QUICK_QUOTA
+    )
+
+
+def run_baseline(workload, n_cores=16, seed=1, **cfg_kwargs):
+    config = table2_config(n_cores, **cfg_kwargs)
+    sim = ServerSimulator(config, get_workload(workload), seed=seed)
+    return sim.run(
+        MaxFrequencyPolicy(), 1.0, instruction_quota=QUICK_QUOTA
+    )
+
+
+class TestCapAccuracy:
+    @pytest.mark.parametrize("workload", ["ILP1", "MID2", "MIX3"])
+    def test_fastcap_mean_power_within_budget(self, workload):
+        result = run_policy("fastcap", workload, 0.6)
+        stats = summarize_power(result)
+        assert stats.mean_of_budget < 1.03
+
+    def test_violations_corrected_quickly(self):
+        result = run_policy("fastcap", "MIX1", 0.6)
+        stats = summarize_power(result)
+        assert stats.settles_within(3)  # ~15 ms at 5 ms epochs
+
+    def test_mem_workloads_may_sit_below_cap(self):
+        result = run_policy("fastcap", "MEM1", 0.8)
+        stats = summarize_power(result)
+        assert stats.mean_of_budget < 1.02
+
+
+class TestFairness:
+    @pytest.mark.parametrize("workload", ["MIX3", "MIX4"])
+    def test_fastcap_no_outliers(self, workload):
+        run = run_policy("fastcap", workload, 0.6)
+        base = run_baseline(workload)
+        degr = normalized_degradation(run, base)
+        assert fairness_gap(degr) < 1.20
+
+    def test_fastcap_fairer_than_maxbips(self):
+        run_fc = run_policy("fastcap", "MIX4", 0.6, n_cores=4)
+        run_mb = run_policy("maxbips", "MIX4", 0.6, n_cores=4)
+        base = run_baseline("MIX4", n_cores=4)
+        gap_fc = fairness_gap(normalized_degradation(run_fc, base))
+        gap_mb = fairness_gap(normalized_degradation(run_mb, base))
+        assert gap_fc < gap_mb
+
+    def test_fastcap_fairer_than_freq_par(self):
+        run_fc = run_policy("fastcap", "MIX4", 0.6)
+        run_fp = run_policy("freq-par", "MIX4", 0.6)
+        base = run_baseline("MIX4")
+        gap_fc = fairness_gap(normalized_degradation(run_fc, base))
+        gap_fp = fairness_gap(normalized_degradation(run_fp, base))
+        assert gap_fc < gap_fp
+
+
+class TestPolicyOrdering:
+    def test_memory_dvfs_helps_non_mem_workloads(self):
+        """FastCap beats CPU-only on average for CPU-heavy mixes."""
+        base = run_baseline("ILP1")
+        fc = normalized_degradation(run_policy("fastcap", "ILP1", 0.6), base)
+        co = normalized_degradation(run_policy("cpu-only", "ILP1", 0.6), base)
+        assert fc.mean() <= co.mean() * 1.02
+
+    def test_freq_par_oscillates_more(self):
+        fc = summarize_power(run_policy("fastcap", "MIX3", 0.6))
+        fp = summarize_power(run_policy("freq-par", "MIX3", 0.6))
+        assert fp.max_overshoot_fraction > fc.max_overshoot_fraction
+
+
+class TestConfigurationAxes:
+    def test_fastcap_caps_on_64_cores(self):
+        result = run_policy("fastcap", "MIX2", 0.6, n_cores=64)
+        assert summarize_power(result).mean_of_budget < 1.03
+
+    def test_fastcap_caps_under_ooo(self):
+        result = run_policy("fastcap", "MEM2", 0.6, ooo=True)
+        assert summarize_power(result).mean_of_budget < 1.03
+
+    def test_fastcap_caps_with_skewed_controllers(self):
+        result = run_policy(
+            "fastcap", "MEM1", 0.6, n_controllers=4, controller_skew=0.6
+        )
+        assert summarize_power(result).mean_of_budget < 1.03
+
+    def test_longer_epochs_still_cap(self):
+        from repro.units import MS
+
+        config = table2_config(16, epoch_s=20 * MS)
+        sim = ServerSimulator(config, get_workload("MIX2"), seed=1)
+        result = sim.run(
+            make_policy("fastcap"), 0.6, instruction_quota=QUICK_QUOTA
+        )
+        assert summarize_power(result).mean_of_budget < 1.05
+
+
+class TestFrequencySelection:
+    def test_cpu_bound_gets_slow_memory(self):
+        result = run_policy("fastcap", "ILP1", 0.6)
+        final = result.epochs[-1]
+        assert final.bus_frequency_hz <= 350e6
+
+    def test_memory_bound_gets_fast_memory(self):
+        # Fig. 8's MEM1 trace is at B=80%: memory pinned at/near max.
+        result = run_policy("fastcap", "MEM1", 0.8)
+        final = result.epochs[-1]
+        assert final.bus_frequency_hz >= 700e6
+
+    def test_memory_bound_keeps_memory_above_midrange_at_60pct(self):
+        result = run_policy("fastcap", "MEM1", 0.6)
+        final = result.epochs[-1]
+        assert final.bus_frequency_hz >= 500e6
+
+    def test_decision_times_recorded(self):
+        result = run_policy("fastcap", "MID1", 0.6)
+        assert result.mean_decision_time_s() > 0

@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import solve_degradation
+from repro.core.power_fit import FittedPowerModel, OnlinePowerFitter
+from repro.metrics.fairness import jain_index
+from repro.queueing.mva import solve_mva
+from repro.sim.dvfs import DVFSLadder
+from repro.units import GHZ, NS
+
+from tests.conftest import make_network
+from tests.core.conftest import make_inputs
+
+
+# ----------------------------------------------------------------------
+# DVFS ladders
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    f_min=st.floats(min_value=0.5, max_value=3.0),
+    span=st.floats(min_value=0.5, max_value=4.0),
+    levels=st.integers(min_value=2, max_value=24),
+    probe=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_quantize_returns_nearest_ladder_level(f_min, span, levels, probe):
+    ladder = DVFSLadder.linear(
+        f_min * GHZ, (f_min + span) * GHZ, levels, 0.65, 1.2
+    )
+    snapped = ladder.quantize(probe * GHZ)
+    assert snapped in ladder.frequencies_hz
+    # No other level is strictly closer.
+    best = min(abs(f - probe * GHZ) for f in ladder.frequencies_hz)
+    assert abs(snapped - probe * GHZ) == pytest.approx(best)
+
+
+@settings(max_examples=50, deadline=None)
+@given(probe=st.floats(min_value=0.1, max_value=10.0))
+def test_voltage_interpolation_within_rail_limits(probe):
+    ladder = DVFSLadder.linear(2.2 * GHZ, 4.0 * GHZ, 10, 0.65, 1.2)
+    v = ladder.voltage_at(probe * GHZ)
+    assert 0.65 <= v <= 1.2
+
+
+# ----------------------------------------------------------------------
+# Power-law fitting
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    p_max=st.floats(min_value=0.5, max_value=20.0),
+    alpha=st.floats(min_value=1.0, max_value=3.4),
+    r1=st.floats(min_value=0.3, max_value=0.7),
+    r2=st.floats(min_value=0.75, max_value=1.0),
+)
+def test_fitter_recovers_exact_law_from_two_points(p_max, alpha, r1, r2):
+    truth = FittedPowerModel(p_max, alpha)
+    fitter = OnlinePowerFitter(1.0, 2.0, alpha_bounds=(0.5, 3.5))
+    fitter.observe(r1, truth.power_at(r1))
+    fitter.observe(r2, truth.power_at(r2))
+    fitted = fitter.current()
+    assert fitted.alpha == pytest.approx(alpha, rel=1e-6)
+    assert fitted.power_at(r2) == pytest.approx(truth.power_at(r2), rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ratios=st.lists(
+        st.floats(min_value=0.3, max_value=1.0),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_fitter_prediction_always_positive(ratios):
+    fitter = OnlinePowerFitter(2.0, 2.5)
+    for i, r in enumerate(ratios):
+        fitter.observe(r, 0.1 + i)
+    model = fitter.current()
+    for probe in (0.3, 0.55, 1.0):
+        assert model.power_at(probe) > 0
+
+
+# ----------------------------------------------------------------------
+# Degradation solve (Theorem 1)
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    budget=st.floats(min_value=12.0, max_value=150.0),
+    z=st.lists(
+        st.floats(min_value=5.0, max_value=3000.0), min_size=2, max_size=8
+    ),
+    sb_ns=st.floats(min_value=1.25, max_value=5.0),
+)
+def test_solution_always_within_dvfs_box(budget, z, sb_ns):
+    inputs = make_inputs(n_cores=len(z), z_min_ns=tuple(z), budget_w=budget)
+    sol = solve_degradation(inputs, sb_ns * NS)
+    assert np.all(sol.z >= inputs.z_min * (1 - 1e-9))
+    assert np.all(sol.z <= inputs.z_max * (1 + 1e-9))
+    assert 0 < sol.d <= 1.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    budget=st.floats(min_value=15.0, max_value=60.0),
+    z=st.lists(
+        st.floats(min_value=5.0, max_value=3000.0), min_size=2, max_size=8
+    ),
+)
+def test_feasible_solutions_respect_budget(budget, z):
+    inputs = make_inputs(n_cores=len(z), z_min_ns=tuple(z), budget_w=budget)
+    sol = solve_degradation(inputs, 2 * NS)
+    if sol.feasible:
+        assert sol.power_w <= budget * (1 + 1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    z=st.lists(
+        st.floats(min_value=10.0, max_value=1000.0), min_size=3, max_size=8
+    ),
+)
+def test_interior_fairness_jain_near_one(z):
+    """Unclipped cores all achieve the same fractional performance."""
+    inputs = make_inputs(n_cores=len(z), z_min_ns=tuple(z), budget_w=25.0)
+    s_b = 2 * NS
+    sol = solve_degradation(inputs, s_b)
+    r = inputs.response.per_core(s_b)
+    achieved = inputs.best_turnaround_s() / (sol.z + inputs.cache + r)
+    interior = (sol.z > inputs.z_min * 1.001) & (sol.z < inputs.z_max * 0.999)
+    if interior.sum() >= 2:
+        assert jain_index(achieved[interior]) > 0.9999
+
+
+# ----------------------------------------------------------------------
+# Queueing solver
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    think=st.floats(min_value=2.0, max_value=500.0),
+    service=st.floats(min_value=10.0, max_value=60.0),
+    bus=st.floats(min_value=1.0, max_value=10.0),
+    n=st.integers(min_value=1, max_value=12),
+)
+def test_mva_littles_law_holds(think, service, bus, n):
+    net = make_network(
+        n_classes=n, think_ns=think, service_ns=service, bus_ns=bus
+    )
+    sol = solve_mva(net)
+    np.testing.assert_allclose(
+        sol.throughput_per_s * sol.turnaround_s, 1.0, rtol=1e-5
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    think=st.floats(min_value=2.0, max_value=200.0),
+    scale=st.floats(min_value=1.1, max_value=4.0),
+)
+def test_mva_throughput_monotone_in_think_time(think, scale):
+    fast = solve_mva(make_network(think_ns=think))
+    slow = solve_mva(make_network(think_ns=think * scale))
+    assert (
+        slow.total_throughput_per_s
+        <= fast.total_throughput_per_s * (1 + 1e-6)
+    )

@@ -1,0 +1,56 @@
+"""Public API surface: everything advertised is importable and present."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.sim",
+    "repro.queueing",
+    "repro.workloads",
+    "repro.policies",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_quickstart_surface():
+    """The README quickstart names must exist at the top level."""
+    from repro import (  # noqa: F401
+        FastCapGovernor,
+        MaxFrequencyPolicy,
+        ServerSimulator,
+        table2_config,
+    )
+    from repro.workloads import get_workload  # noqa: F401
+
+
+def test_policy_registry_matches_paper_policies():
+    from repro.policies import POLICY_FACTORIES
+
+    for name in (
+        "fastcap",
+        "cpu-only",
+        "freq-par",
+        "eql-pwr",
+        "eql-freq",
+        "greedy-heap",
+        "maxbips",
+        "max-freq",
+    ):
+        assert name in POLICY_FACTORIES

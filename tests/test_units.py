@@ -1,0 +1,25 @@
+"""Unit-constant sanity."""
+
+from repro import units
+
+
+def test_time_constants():
+    assert units.NS == 1e-9
+    assert units.US == 1e-6
+    assert units.MS == 1e-3
+
+
+def test_frequency_constants():
+    assert units.GHZ == 1e9
+    assert units.MHZ == 1e6
+    assert units.KHZ == 1e3
+
+
+def test_conversions_round_trip():
+    assert units.hz_to_ghz(4 * units.GHZ) == 4.0
+    assert units.hz_to_mhz(800 * units.MHZ) == 800.0
+    assert units.seconds_to_us(300 * units.US) == 300.0
+
+
+def test_ddr3_vdd_is_jedec_nominal():
+    assert units.DDR3_VDD == 1.5

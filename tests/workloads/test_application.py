@@ -1,0 +1,132 @@
+"""Application profiles and phase schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.application import (
+    ApplicationProfile,
+    PhaseSpec,
+    duration_weighted_means,
+    normalize_phases,
+)
+
+
+def make_profile(**overrides):
+    defaults = dict(
+        name="test",
+        cpi_exe=1.0,
+        base_mpki=5.0,
+        base_wpki=1.0,
+        row_hit_rate=0.6,
+        bank_skew=0.5,
+        intensity=1.0,
+        phases=(),
+    )
+    defaults.update(overrides)
+    return ApplicationProfile(**defaults)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_cpi(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(cpi_exe=0.0)
+
+    def test_rejects_nonpositive_mpki(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(base_mpki=0.0)
+
+    def test_rejects_negative_wpki(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(base_wpki=-0.1)
+
+    def test_rejects_bad_row_hit(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(row_hit_rate=1.0)
+
+    def test_phase_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSpec(duration_instructions=0)
+
+    def test_phase_rejects_nonpositive_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSpec(duration_instructions=1e6, mpki_multiplier=0.0)
+
+
+class TestPhaseSchedule:
+    def test_no_phases_is_steady(self):
+        profile = make_profile()
+        assert profile.mpki_at(0.0) == 5.0
+        assert profile.mpki_at(1e9) == 5.0
+
+    def test_phase_lookup_cycles(self):
+        phases = (
+            PhaseSpec(10e6, mpki_multiplier=2.0),
+            PhaseSpec(10e6, mpki_multiplier=0.5),
+        )
+        profile = make_profile(phases=normalize_phases(phases))
+        early = profile.mpki_at(1e6)
+        late = profile.mpki_at(11e6)
+        wrapped = profile.mpki_at(21e6)  # back to the first phase
+        assert early != late
+        assert wrapped == pytest.approx(early)
+
+    def test_phase_boundary(self):
+        phases = (
+            PhaseSpec(10e6, mpki_multiplier=2.0),
+            PhaseSpec(10e6, mpki_multiplier=0.5),
+        )
+        profile = make_profile(phases=phases)
+        assert profile.phase_at(0.0) is phases[0]
+        assert profile.phase_at(10e6) is phases[1]
+
+    def test_row_hit_clamped(self):
+        phases = (PhaseSpec(1e6, row_hit_multiplier=3.0),)
+        profile = make_profile(row_hit_rate=0.9, phases=phases)
+        assert profile.row_hit_rate_at(0.0) <= 0.95
+
+    def test_n_phases(self):
+        assert make_profile().n_phases == 1
+        assert make_profile(phases=(PhaseSpec(1e6), PhaseSpec(1e6))).n_phases == 2
+
+
+class TestNormalization:
+    def test_weighted_means_of_empty_schedule(self):
+        assert duration_weighted_means(()) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_normalized_schedule_has_unit_means(self):
+        phases = (
+            PhaseSpec(30e6, mpki_multiplier=2.0, cpi_multiplier=1.3),
+            PhaseSpec(10e6, mpki_multiplier=0.4, wpki_multiplier=2.5),
+        )
+        normalized = normalize_phases(phases)
+        means = duration_weighted_means(normalized)
+        for value in means:
+            assert value == pytest.approx(1.0)
+
+    def test_normalization_preserves_relative_shape(self):
+        phases = (
+            PhaseSpec(10e6, mpki_multiplier=2.0),
+            PhaseSpec(10e6, mpki_multiplier=0.5),
+        )
+        normalized = normalize_phases(phases)
+        ratio = normalized[0].mpki_multiplier / normalized[1].mpki_multiplier
+        assert ratio == pytest.approx(4.0)
+
+    def test_normalization_keeps_durations(self):
+        phases = (PhaseSpec(10e6), PhaseSpec(20e6))
+        normalized = normalize_phases(phases)
+        assert [p.duration_instructions for p in normalized] == [10e6, 20e6]
+
+    def test_long_run_average_equals_base(self):
+        phases = normalize_phases(
+            (
+                PhaseSpec(10e6, mpki_multiplier=1.8),
+                PhaseSpec(25e6, mpki_multiplier=0.7),
+            )
+        )
+        profile = make_profile(phases=phases)
+        # Integrate MPKI over several full cycles.
+        step = 1e5
+        cycle = 35e6
+        samples = [profile.mpki_at(i * step) for i in range(int(3 * cycle / step))]
+        assert sum(samples) / len(samples) == pytest.approx(5.0, rel=0.01)

@@ -1,0 +1,50 @@
+"""Calibration machinery: the fit that produced the catalogue constants."""
+
+import pytest
+
+from repro.workloads.calibration import (
+    fit_base_rates,
+    predicted_mix_rate,
+    verify_against_table3,
+    verify_wpki_against_table3,
+)
+from repro.workloads.mixes import ALL_MIXES
+from repro.workloads.spec import MPKI_BASE
+
+
+def test_verify_mpki_within_two_percent():
+    for name, (table, model, rel_err) in verify_against_table3().items():
+        assert rel_err < 0.02, f"{name}: {model:.3f} vs {table} ({rel_err:.1%})"
+
+
+def test_verify_wpki_within_fifteen_percent():
+    for name, (table, model, rel_err) in verify_wpki_against_table3().items():
+        assert rel_err < 0.15, f"{name}: {model:.3f} vs {table} ({rel_err:.1%})"
+
+
+def test_predicted_mix_rate_formula():
+    workload = ALL_MIXES["MID1"]
+    rates = {a: 1.0 for a in workload.member_names}
+    # mean 1.0 * (1 + kappa * 4.0)
+    assert predicted_mix_rate(rates, workload, kappa=0.1) == pytest.approx(1.4)
+
+
+def test_predicted_mix_rate_external_pressure():
+    workload = ALL_MIXES["MID1"]
+    rates = {a: 1.0 for a in workload.member_names}
+    pressure = {a: 2.0 for a in workload.member_names}
+    assert predicted_mix_rate(
+        rates, workload, kappa=0.1, pressure_rates=pressure
+    ) == pytest.approx(1.8)
+
+
+@pytest.mark.slow
+def test_refit_recovers_catalog_quality():
+    # Re-running the fit from scratch must reach a similar quality to
+    # the embedded constants (not necessarily the same point: the
+    # system is underdetermined).
+    targets = {name: w.table3_mpki for name, w in ALL_MIXES.items()}
+    priors = dict(MPKI_BASE)
+    result = fit_base_rates(targets, priors, kappa0=0.05, max_iterations=60)
+    assert result.max_relative_error < 0.05
+    assert 0.0 < result.kappa < 0.5

@@ -1,0 +1,129 @@
+"""Random workload generation and catalogue registration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    get_application,
+    random_application,
+    random_workload,
+    register_application,
+)
+from repro.workloads.application import ApplicationProfile, duration_weighted_means
+
+
+@pytest.fixture(autouse=True)
+def _clean_custom_catalog():
+    """Generated apps must not leak between tests."""
+    from repro.workloads.spec import clear_custom_applications
+
+    yield
+    clear_custom_applications()
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        profile = ApplicationProfile(
+            name="test-reg-app", cpi_exe=1.0, base_mpki=2.0, base_wpki=0.5
+        )
+        register_application(profile, replace=True)
+        assert get_application("test-reg-app") is profile
+
+    def test_collision_protected(self):
+        with pytest.raises(WorkloadError):
+            register_application(
+                ApplicationProfile(
+                    name="swim", cpi_exe=1.0, base_mpki=2.0, base_wpki=0.5
+                )
+            )
+
+    def test_replace_allows_overwrite(self):
+        profile = ApplicationProfile(
+            name="test-reg-app2", cpi_exe=1.0, base_mpki=2.0, base_wpki=0.5
+        )
+        register_application(profile, replace=True)
+        register_application(profile, replace=True)  # no error
+
+
+class TestRandomApplication:
+    def test_profiles_always_valid(self):
+        rng = np.random.default_rng(0)
+        for i in range(50):
+            app = random_application(rng, f"ra{i}")
+            assert app.base_mpki > 0
+            assert 0 < app.row_hit_rate < 1
+            assert app.cpi_exe > 0
+
+    def test_phases_normalized(self):
+        rng = np.random.default_rng(1)
+        app = random_application(rng, "ra-phases")
+        for value in duration_weighted_means(app.phases):
+            assert value == pytest.approx(1.0)
+
+    def test_envelope_spans_orders_of_magnitude(self):
+        rng = np.random.default_rng(2)
+        mpkis = [random_application(rng, f"ra-span{i}").base_mpki for i in range(80)]
+        assert max(mpkis) / min(mpkis) > 20
+
+
+class TestRandomWorkload:
+    def test_deterministic_in_seed(self):
+        a = random_workload(123)
+        mpki_a = get_application(a.member_names[0]).base_mpki
+        b = random_workload(123)
+        assert a.member_names == b.member_names
+        assert mpki_a == get_application(b.member_names[0]).base_mpki
+
+    def test_spec_catalog_untouched(self):
+        from repro.workloads.spec import SPEC_CATALOG
+
+        random_workload(99)
+        assert len(SPEC_CATALOG) == 31
+        assert not any(n.startswith("rand") for n in SPEC_CATALOG)
+
+    def test_different_seeds_differ(self):
+        a = random_workload(1)
+        b = random_workload(2)
+        mpki_a = get_application(a.member_names[0]).base_mpki
+        mpki_b = get_application(b.member_names[0]).base_mpki
+        assert mpki_a != mpki_b
+
+    def test_instantiates_on_cores(self):
+        workload = random_workload(7)
+        apps = workload.instantiate(16)
+        assert len(apps) == 16
+
+
+class TestRandomWorkloadCapping:
+    """FastCap must cap *any* valid workload, not just Table III."""
+
+    @pytest.mark.parametrize("seed", [11, 29, 47])
+    def test_fastcap_caps_random_workloads(self, seed, config16):
+        from repro.metrics.power import summarize_power
+        from repro.policies import make_policy
+        from repro.sim.server import ServerSimulator
+
+        workload = random_workload(seed)
+        sim = ServerSimulator(config16, workload, seed=seed)
+        result = sim.run(
+            make_policy("fastcap"), 0.6, instruction_quota=10e6
+        )
+        stats = summarize_power(result)
+        assert stats.mean_of_budget < 1.05
+        assert stats.settles_within(4)
+
+    def test_fairness_on_random_workload(self, config16):
+        from repro.metrics.fairness import fairness_gap
+        from repro.metrics.performance import normalized_degradation
+        from repro.policies import make_policy
+        from repro.sim.server import MaxFrequencyPolicy, ServerSimulator
+
+        workload = random_workload(61)
+        base = ServerSimulator(config16, workload, seed=61).run(
+            MaxFrequencyPolicy(), 1.0, instruction_quota=10e6
+        )
+        run = ServerSimulator(config16, workload, seed=61).run(
+            make_policy("fastcap"), 0.6, instruction_quota=10e6
+        )
+        assert fairness_gap(normalized_degradation(run, base)) < 1.25

@@ -1,0 +1,106 @@
+"""Table III mixes: membership, instantiation and calibration."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.mixes import (
+    ALL_MIXES,
+    MIX_CLASSES,
+    WorkloadClass,
+    get_workload,
+    workloads_in_class,
+)
+
+
+class TestStructure:
+    def test_sixteen_mixes(self):
+        assert len(ALL_MIXES) == 16
+
+    def test_four_per_class(self):
+        for cls in WorkloadClass:
+            assert len(MIX_CLASSES[cls]) == 4
+
+    def test_each_mix_has_four_members(self):
+        for workload in ALL_MIXES.values():
+            assert len(workload.member_names) == 4
+
+    def test_known_memberships(self):
+        assert get_workload("MEM1").member_names == (
+            "swim",
+            "applu",
+            "galgel",
+            "equake",
+        )
+        assert get_workload("MIX3").member_names == (
+            "equake",
+            "ammp",
+            "sjeng",
+            "crafty",
+        )
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("MEM9")
+
+    def test_workloads_in_class(self):
+        mems = workloads_in_class(WorkloadClass.MEM)
+        assert [w.name for w in mems] == ["MEM1", "MEM2", "MEM3", "MEM4"]
+
+
+class TestInstantiation:
+    def test_sixteen_cores_get_four_copies(self):
+        apps = get_workload("ILP1").instantiate(16)
+        assert len(apps) == 16
+        names = [a.name for a in apps]
+        for member in get_workload("ILP1").member_names:
+            assert names.count(member) == 4
+
+    def test_interleaved_assignment(self):
+        apps = get_workload("ILP1").instantiate(8)
+        names = [a.name for a in apps]
+        assert names[:4] == list(get_workload("ILP1").member_names)
+        assert names[4:] == names[:4]
+
+    def test_rejects_non_multiple_of_four(self):
+        with pytest.raises(WorkloadError):
+            get_workload("ILP1").instantiate(6)
+
+
+class TestTable3Calibration:
+    @pytest.mark.parametrize("name", list(ALL_MIXES))
+    def test_mpki_matches_table3(self, name):
+        workload = ALL_MIXES[name]
+        model = workload.average_mpki()
+        assert model == pytest.approx(workload.table3_mpki, rel=0.02), (
+            f"{name}: model {model:.3f} vs table {workload.table3_mpki}"
+        )
+
+    @pytest.mark.parametrize("name", list(ALL_MIXES))
+    def test_wpki_matches_table3(self, name):
+        workload = ALL_MIXES[name]
+        model = workload.average_wpki()
+        # WPKI entries are rounded to 2 decimals in the paper and are
+        # internally inconsistent at that precision; 15% tolerance.
+        assert model == pytest.approx(workload.table3_wpki, rel=0.15), (
+            f"{name}: model {model:.3f} vs table {workload.table3_wpki}"
+        )
+
+    def test_mem_class_misses_most(self):
+        class_mpki = {
+            cls: sum(w.average_mpki() for w in workloads_in_class(cls)) / 4
+            for cls in WorkloadClass
+        }
+        assert class_mpki[WorkloadClass.MEM] > class_mpki[WorkloadClass.MIX]
+        assert class_mpki[WorkloadClass.MIX] > class_mpki[WorkloadClass.ILP]
+        assert class_mpki[WorkloadClass.MID] > class_mpki[WorkloadClass.ILP]
+
+    def test_contention_raises_effective_mpki(self):
+        # equake misses far more inside MEM1 than inside gentle MIX3.
+        mem1 = get_workload("MEM1")
+        mix3 = get_workload("MIX3")
+        equake = [a for a in mem1.members() if a.name == "equake"][0]
+        from repro.workloads.cache_sharing import effective_mpki
+
+        in_mem1 = effective_mpki(equake, mem1.pressure())
+        in_mix3 = effective_mpki(equake, mix3.pressure())
+        assert in_mem1 > in_mix3 * 1.5

@@ -1,0 +1,75 @@
+"""SPEC catalogue integrity."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.application import duration_weighted_means
+from repro.workloads.spec import (
+    MPKI_BASE,
+    SPEC_CATALOG,
+    WPKI_BASE,
+    get_application,
+)
+
+
+def test_catalog_covers_all_fitted_apps():
+    assert set(SPEC_CATALOG) == set(MPKI_BASE) == set(WPKI_BASE)
+
+
+def test_catalog_has_31_applications():
+    # Union of all Table III mixes.
+    assert len(SPEC_CATALOG) == 31
+
+
+def test_lookup_by_name():
+    swim = get_application("swim")
+    assert swim.name == "swim"
+
+
+def test_unknown_application_raises():
+    with pytest.raises(WorkloadError):
+        get_application("doom")
+
+
+def test_all_profiles_validate():
+    for app in SPEC_CATALOG.values():
+        assert app.cpi_exe > 0
+        assert app.base_mpki > 0
+        assert 0 < app.row_hit_rate < 1
+        assert app.intensity > 0
+
+
+def test_memory_apps_miss_more_than_compute_apps():
+    assert SPEC_CATALOG["swim"].base_mpki > 10 * SPEC_CATALOG["eon"].base_mpki
+    assert SPEC_CATALOG["art"].base_mpki > 10 * SPEC_CATALOG["gzip"].base_mpki
+
+
+def test_streaming_apps_have_high_row_locality():
+    assert SPEC_CATALOG["swim"].row_hit_rate > SPEC_CATALOG["ammp"].row_hit_rate
+
+
+def test_compute_apps_have_higher_intensity():
+    assert SPEC_CATALOG["sixtrack"].intensity > SPEC_CATALOG["swim"].intensity
+
+
+def test_all_phase_schedules_are_normalized():
+    for app in SPEC_CATALOG.values():
+        means = duration_weighted_means(app.phases)
+        for value in means:
+            assert value == pytest.approx(1.0, abs=1e-9), app.name
+
+
+def test_figure_apps_have_pronounced_phases():
+    # Apps shown in the time-series figures need visible dynamics.
+    for name in ("vortex", "swim", "equake"):
+        app = SPEC_CATALOG[name]
+        mults = [p.mpki_multiplier for p in app.phases]
+        assert max(mults) / min(mults) > 1.5, name
+
+
+def test_catalog_is_deterministic():
+    from repro.workloads.spec import _build_catalog
+
+    rebuilt = _build_catalog()
+    for name, app in SPEC_CATALOG.items():
+        assert rebuilt[name] == app
