@@ -15,9 +15,23 @@ Quick start::
     result = sim.run(FastCapGovernor(), budget_fraction=0.6)
     print(result.mean_power_w(), "W against", result.budget_watts, "W budget")
 
+Batch evaluation goes through the campaign API — declarative,
+serializable run specs executed with parallel fan-out and a persistent
+result cache::
+
+    from repro import Campaign, CampaignRunner
+
+    campaign = Campaign.grid(
+        "demo", workloads=("MIX1", "MIX2"),
+        policies=("fastcap", "cpu-only"), budgets=(0.4, 0.6),
+    )
+    runner = CampaignRunner(jobs=4, cache_dir="results/cache")
+    results = runner.run_campaign(campaign, include_baselines=True)
+
 Package layout:
 
 * :mod:`repro.core` — the FastCap optimizer, Algorithm 1 and governor;
+* :mod:`repro.campaign` — run specs, campaigns, fan-out, result cache;
 * :mod:`repro.sim` — the many-core server simulator substrate;
 * :mod:`repro.queueing` — the transfer-blocking queueing network
   (AMVA solver + discrete-event validator);
@@ -27,6 +41,13 @@ Package layout:
 * :mod:`repro.experiments` — one experiment per paper table/figure.
 """
 
+from repro.campaign import (
+    Campaign,
+    CampaignResult,
+    CampaignRunner,
+    ResultCache,
+    RunSpec,
+)
 from repro.core.governor import FastCapGovernor
 from repro.sim.config import SystemConfig, table2_config
 from repro.sim.server import (
@@ -36,13 +57,18 @@ from repro.sim.server import (
     ServerSimulator,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CampaignRunner",
     "FastCapGovernor",
     "FrequencySettings",
     "MaxFrequencyPolicy",
+    "ResultCache",
     "RunResult",
+    "RunSpec",
     "ServerSimulator",
     "SystemConfig",
     "table2_config",

@@ -1,0 +1,58 @@
+"""Public campaign API: declarative run specs, fan-out, result caching.
+
+The unit of evaluation in the paper — and the unit of work in this
+package — is a *campaign*: a grid of (policy × workload × budget ×
+config) runs.  This package makes that shape first-class:
+
+* :class:`RunSpec` — the complete, serializable description of one
+  run, with a stable content hash;
+* :class:`Campaign` — a named list of specs (``Campaign.grid`` builds
+  cross-products; campaigns round-trip through JSON for the CLI's
+  ``batch`` subcommand);
+* :class:`CampaignRunner` — executes specs/campaigns with quick-mode
+  scaling, multiprocessing fan-out (``jobs=N``), and a persistent
+  content-addressed result cache (``cache_dir=...``);
+* :class:`CampaignResult` — spec-addressable results, including the
+  max-frequency baselines that normalize performance;
+* :class:`ResultCache` — the on-disk spec-hash → result store;
+* :func:`execute_spec` — the pure spec → result function underneath.
+
+Quick start::
+
+    from repro.campaign import Campaign, CampaignRunner
+
+    campaign = Campaign.grid(
+        "demo",
+        workloads=("MIX1", "MIX2"),
+        policies=("fastcap", "cpu-only"),
+        budgets=(0.4, 0.6, 0.8),
+        max_epochs=40,
+        instruction_quota=None,
+    )
+    runner = CampaignRunner(jobs=4, cache_dir="results/cache")
+    results = runner.run_campaign(campaign, include_baselines=True)
+    for spec in campaign:
+        run, base = results.pair(spec)
+        print(spec.workload, spec.policy, run.mean_power_w())
+"""
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.campaign import Campaign, CampaignResult
+from repro.campaign.runner import (
+    CampaignRunner,
+    config_for_spec,
+    execute_spec,
+    resolved_policy_name,
+)
+from repro.campaign.spec import RunSpec
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CampaignRunner",
+    "ResultCache",
+    "RunSpec",
+    "config_for_spec",
+    "execute_spec",
+    "resolved_policy_name",
+]

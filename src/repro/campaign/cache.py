@@ -1,0 +1,107 @@
+"""Content-addressed on-disk cache of run results.
+
+Each entry is keyed by the spec's content hash (``RunSpec.spec_hash``)
+and stores the spec alongside the result, so entries are
+self-describing and a hash-scheme change can never silently serve the
+wrong simulation: on read, the stored spec is compared against the
+requested one and a mismatch is treated as a miss.
+
+Entries are written atomically (temp file + rename) so concurrent
+workers racing on the same spec cannot leave a torn file; corrupted or
+unreadable entries degrade to cache misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.campaign.spec import RunSpec
+from repro.errors import ConfigurationError, ExperimentError
+from repro.sim.results_io import (
+    FORMAT_VERSION,
+    load_npz_extra,
+    load_run_result_npz,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_run_result_npz,
+)
+from repro.sim.server import RunResult
+
+#: Supported on-disk entry formats.
+CACHE_FORMATS = ("json", "npz")
+
+
+class ResultCache:
+    """Directory-backed spec-hash → :class:`RunResult` store."""
+
+    def __init__(self, root: str, fmt: str = "json") -> None:
+        if fmt not in CACHE_FORMATS:
+            raise ConfigurationError(
+                f"unknown cache format {fmt!r}; known: {list(CACHE_FORMATS)}"
+            )
+        self.root = Path(root)
+        self.fmt = fmt
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.spec_hash()}.{self.fmt}"
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob(f"*.{self.fmt}"))
+
+    def entries(self) -> Iterator[Path]:
+        """Paths of every entry currently in the cache."""
+        return self.root.glob(f"*.{self.fmt}")
+
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """Load the cached result for ``spec``, or ``None`` on a miss."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            if self.fmt == "npz":
+                stored_spec = (load_npz_extra(str(path)) or {}).get("spec")
+                if stored_spec != spec.to_dict():
+                    return None
+                return load_run_result_npz(str(path))
+            with open(path) as handle:
+                payload = json.load(handle)
+            if payload.get("spec") != spec.to_dict():
+                return None
+            return run_result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, ExperimentError):
+            return None
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        """Store ``result`` under ``spec``'s hash (atomic write)."""
+        path = self.path_for(spec)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=f".{self.fmt}"
+        )
+        os.close(fd)
+        try:
+            if self.fmt == "npz":
+                save_run_result_npz(result, tmp, extra={"spec": spec.to_dict()})
+            else:
+                payload: Dict[str, Any] = {
+                    "format_version": FORMAT_VERSION,
+                    "spec": spec.to_dict(),
+                    "result": run_result_to_dict(result),
+                }
+                with open(tmp, "w") as handle:
+                    json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path

@@ -1,0 +1,145 @@
+"""Campaigns: declarative batches of run specs.
+
+A :class:`Campaign` is an ordered list of :class:`RunSpec` values with
+a name — the unit the paper's evaluation is made of (a figure is a
+grid of (policy × workload × budget × config) runs).  Campaigns are
+plain data: they serialize to JSON (the CLI ``batch`` subcommand runs
+a campaign file) and :meth:`Campaign.grid` builds the common
+cross-product shape in one call.
+
+A :class:`CampaignResult` maps the campaign's specs (by content hash)
+to their :class:`RunResult` values, including the max-frequency
+baselines when the campaign was run with ``include_baselines=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import RunSpec
+from repro.errors import ConfigurationError, ExperimentError
+from repro.sim.server import RunResult
+
+
+class Campaign:
+    """A named, ordered collection of run specs."""
+
+    def __init__(self, name: str, specs: Iterable[RunSpec]) -> None:
+        self.name = name
+        self.specs: Tuple[RunSpec, ...] = tuple(specs)
+        for spec in self.specs:
+            if not isinstance(spec, RunSpec):
+                raise ConfigurationError(
+                    f"campaign {name!r} contains a non-RunSpec entry: {spec!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.specs)
+
+    def __repr__(self) -> str:
+        return f"Campaign({self.name!r}, {len(self.specs)} specs)"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        workloads: Sequence[str],
+        policies: Sequence[str],
+        budgets: Sequence[float],
+        **overrides: Any,
+    ) -> "Campaign":
+        """Cross-product campaign over workloads × policies × budgets.
+
+        ``overrides`` are applied to every spec (e.g. ``n_cores=64``,
+        ``max_epochs=30``, ``seed=7``).
+        """
+        specs = [
+            RunSpec(
+                workload=workload,
+                policy=policy,
+                budget_fraction=budget,
+                **overrides,
+            )
+            for policy in policies
+            for workload in workloads
+            for budget in budgets
+        ]
+        return cls(name, specs)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Campaign":
+        if not isinstance(data, dict) or "specs" not in data:
+            raise ConfigurationError(
+                "campaign dict needs at least a 'specs' list"
+            )
+        specs = [RunSpec.from_dict(entry) for entry in data["specs"]]
+        return cls(data.get("name", "campaign"), specs)
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Campaign":
+        return cls.from_dict(json.loads(text))
+
+
+class CampaignResult:
+    """Results of one campaign run, addressable by spec.
+
+    Lookup works with the *original* (pre-quick-scaling) specs the
+    campaign declared, so callers never need to know how the runner
+    scaled them.
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        results_by_hash: Dict[str, RunResult],
+        cache_hits: int = 0,
+        runs_executed: int = 0,
+    ) -> None:
+        self.campaign = campaign
+        self._by_hash = dict(results_by_hash)
+        #: Results served from the on-disk cache during this run.
+        self.cache_hits = cache_hits
+        #: Specs actually simulated during this run.
+        self.runs_executed = runs_executed
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.spec_hash() in self._by_hash
+
+    def __getitem__(self, spec: RunSpec) -> RunResult:
+        try:
+            return self._by_hash[spec.spec_hash()]
+        except KeyError:
+            raise ExperimentError(
+                f"campaign {self.campaign.name!r} holds no result for "
+                f"spec {spec.spec_hash()} ({spec.workload}/{spec.policy})"
+            ) from None
+
+    def baseline(self, spec: RunSpec) -> RunResult:
+        """The max-frequency baseline result matching ``spec``."""
+        return self[spec.baseline_spec()]
+
+    def pair(self, spec: RunSpec) -> Tuple[RunResult, RunResult]:
+        """(run, baseline) for one spec."""
+        return self[spec], self.baseline(spec)
+
+    def results(self) -> List[RunResult]:
+        """Results in the campaign's declared spec order."""
+        return [self[spec] for spec in self.campaign.specs]

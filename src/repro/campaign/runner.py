@@ -1,0 +1,266 @@
+"""Campaign execution: fan-out, caching, and quick-mode scaling.
+
+:func:`execute_spec` is the pure spec → :class:`RunResult` function
+(no scaling, no caching); :class:`CampaignRunner` layers on top of it:
+
+* **quick-mode scaling** — ``quick=True`` divides instruction quotas
+  and epoch caps by ``quick_factor`` so campaigns finish at CI speed
+  while keeping the same qualitative shapes;
+* **in-memory memoisation** — repeated runs of the same (scaled) spec
+  within one process return the same object, which is what lets one
+  max-frequency baseline serve every policy on a workload/config;
+* **persistent caching** — with ``cache_dir`` set, results are stored
+  content-addressed by spec hash (:mod:`repro.campaign.cache`); a
+  warm-cache campaign performs zero simulator runs;
+* **parallel fan-out** — ``jobs > 1`` executes cache misses across a
+  process pool.  Specs are deterministic given their seed, so the
+  per-spec results are byte-identical to a serial run — except the
+  per-epoch decision wall times, the one measured (non-simulated)
+  quantity; set ``record_decision_time=False`` on a spec to zero
+  those out and make results bit-reproducible everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.campaign import Campaign, CampaignResult
+from repro.campaign.spec import RunSpec
+from repro.policies.registry import format_policy_name, make_policy, parse_policy_name
+from repro.sim.config import SystemConfig, table2_config
+from repro.sim.server import RunResult, ServerSimulator
+from repro.units import MS
+
+
+def config_for_spec(spec: RunSpec) -> SystemConfig:
+    """Table II preset for a spec, with noise overrides applied."""
+    config = table2_config(
+        n_cores=spec.n_cores,
+        ooo=spec.ooo,
+        n_controllers=spec.n_controllers,
+        controller_skew=spec.controller_skew,
+        epoch_s=spec.epoch_ms * MS,
+    )
+    if spec.counter_noise is not None or spec.power_noise is not None:
+        noise = config.noise
+        if spec.counter_noise is not None:
+            noise = replace(noise, counter_rel_sigma=spec.counter_noise)
+        if spec.power_noise is not None:
+            noise = replace(noise, power_rel_sigma=spec.power_noise)
+        config = config.with_updates(noise=noise)
+    return config
+
+
+def resolved_policy_name(spec: RunSpec) -> str:
+    """The spec's policy name with ``search``/``memory_mode`` merged in.
+
+    ``RunSpec(policy="fastcap", search="exhaustive")`` and
+    ``RunSpec(policy="fastcap:search=exhaustive")`` resolve to the same
+    parameterized name.
+    """
+    base, params = parse_policy_name(spec.policy)
+    if spec.search is not None:
+        params["search"] = spec.search
+    if spec.memory_mode is not None:
+        params["memory_mode"] = spec.memory_mode
+    return format_policy_name(base, params)
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Simulate one spec exactly as written (no scaling, no caching)."""
+    from repro.workloads import get_workload  # local: keeps import cheap
+
+    config = config_for_spec(spec)
+    sim = ServerSimulator(
+        config, get_workload(spec.workload), seed=spec.seed, engine=spec.engine
+    )
+    policy = make_policy(resolved_policy_name(spec))
+    return sim.run(
+        policy,
+        budget_fraction=spec.budget_fraction,
+        instruction_quota=spec.instruction_quota,
+        max_epochs=spec.max_epochs,
+        measure_decision_time=spec.record_decision_time,
+    )
+
+
+def _execute_spec_json(spec_json: str) -> Dict:
+    """Process-pool worker: JSON spec in, plain result dict out."""
+    from repro.sim.results_io import run_result_to_dict
+
+    return run_result_to_dict(execute_spec(RunSpec.from_json(spec_json)))
+
+
+class CampaignRunner:
+    """Runs specs and campaigns with memoisation, caching and fan-out.
+
+    Also answers to its historical name ``ExperimentRunner`` (still
+    exported from :mod:`repro.experiments.runner`).
+    """
+
+    def __init__(
+        self,
+        quick: bool = False,
+        quick_factor: float = 5.0,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        cache_format: str = "json",
+    ) -> None:
+        self.quick = quick
+        self.quick_factor = quick_factor
+        self.jobs = max(int(jobs), 1)
+        self.cache = (
+            ResultCache(cache_dir, fmt=cache_format) if cache_dir else None
+        )
+        self._memo: Dict[str, RunResult] = {}
+        #: Results served from the persistent cache.
+        self.cache_hits = 0
+        #: Results served from the in-process memo.
+        self.memo_hits = 0
+        #: Specs actually handed to the simulator.
+        self.runs_executed = 0
+
+    # ------------------------------------------------------------------
+    def scaled(self, spec: RunSpec) -> RunSpec:
+        """Apply quick-mode scaling to a spec.
+
+        Scaling shrinks work, never inflates it: the floors (5M
+        instructions, 10 epochs) are capped at the spec's own declared
+        values, so an explicitly tiny spec runs exactly as written.
+        """
+        if not self.quick:
+            return spec
+        quota = spec.instruction_quota
+        epochs = spec.max_epochs
+        if quota is not None:
+            quota = min(max(quota / self.quick_factor, 5e6), quota)
+        if epochs is not None:
+            epochs = min(max(int(epochs / self.quick_factor), 10), epochs)
+        return replace(spec, instruction_quota=quota, max_epochs=epochs)
+
+    def config_for(self, spec: RunSpec) -> SystemConfig:
+        return config_for_spec(spec)
+
+    # ------------------------------------------------------------------
+    def _lookup(self, scaled: RunSpec) -> Optional[RunResult]:
+        """Memo, then persistent cache; updates hit counters."""
+        key = scaled.spec_hash()
+        memo = self._memo.get(key)
+        if memo is not None:
+            self.memo_hits += 1
+            return memo
+        if self.cache is not None:
+            cached = self.cache.get(scaled)
+            if cached is not None:
+                self.cache_hits += 1
+                self._memo[key] = cached
+                return cached
+        return None
+
+    def _store(self, scaled: RunSpec, result: RunResult) -> None:
+        self._memo[scaled.spec_hash()] = result
+        if self.cache is not None:
+            self.cache.put(scaled, result)
+
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunResult:
+        """Run one spec (quick-scaled), via memo and cache."""
+        scaled = self.scaled(spec)
+        found = self._lookup(scaled)
+        if found is not None:
+            return found
+        result = execute_spec(scaled)
+        self.runs_executed += 1
+        self._store(scaled, result)
+        return result
+
+    def baseline(self, spec: RunSpec) -> RunResult:
+        """Max-frequency baseline for a spec's workload/config (cached)."""
+        return self.run(spec.baseline_spec())
+
+    def run_with_baseline(self, spec: RunSpec) -> Tuple[RunResult, RunResult]:
+        """Run a spec and return (run, matching baseline)."""
+        return self.run(spec), self.baseline(spec)
+
+    # ------------------------------------------------------------------
+    def run_campaign(
+        self, campaign: Campaign, include_baselines: bool = False
+    ) -> CampaignResult:
+        """Run every spec of a campaign, fanning misses out over jobs.
+
+        With ``include_baselines=True`` the matching max-frequency
+        baseline of every spec joins the batch (deduplicated — one
+        baseline serves all policies on a workload/config/seed), so
+        ``result.baseline(spec)`` and ``result.pair(spec)`` resolve.
+        """
+        originals: List[RunSpec] = list(campaign.specs)
+        if include_baselines:
+            originals.extend(spec.baseline_spec() for spec in campaign.specs)
+
+        # Deduplicate by original hash, preserving declaration order.
+        ordered: List[RunSpec] = []
+        seen = set()
+        for spec in originals:
+            key = spec.spec_hash()
+            if key not in seen:
+                seen.add(key)
+                ordered.append(spec)
+
+        scaled = [self.scaled(spec) for spec in ordered]
+        hits_before = self.cache_hits
+        runs_before = self.runs_executed
+
+        misses: List[Tuple[int, RunSpec]] = []
+        results: Dict[int, RunResult] = {}
+        for i, spec in enumerate(scaled):
+            found = self._lookup(spec)
+            if found is None:
+                misses.append((i, spec))
+            else:
+                results[i] = found
+
+        if misses:
+            results.update(self._execute_misses(misses))
+
+        by_hash = {
+            orig.spec_hash(): results[i] for i, orig in enumerate(ordered)
+        }
+        # Scaled hashes resolve too, so full-mode callers and code
+        # holding already-scaled specs both find their results.
+        for i, spec in enumerate(scaled):
+            by_hash.setdefault(spec.spec_hash(), results[i])
+        return CampaignResult(
+            campaign,
+            by_hash,
+            cache_hits=self.cache_hits - hits_before,
+            runs_executed=self.runs_executed - runs_before,
+        )
+
+    def _execute_misses(
+        self, misses: List[Tuple[int, RunSpec]]
+    ) -> Dict[int, RunResult]:
+        """Simulate cache misses, in-process or across a worker pool."""
+        out: Dict[int, RunResult] = {}
+        if self.jobs > 1 and len(misses) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.sim.results_io import run_result_from_dict
+
+            workers = min(self.jobs, len(misses))
+            payloads = [spec.to_json() for _, spec in misses]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                dicts = list(pool.map(_execute_spec_json, payloads))
+            for (i, spec), data in zip(misses, dicts):
+                result = run_result_from_dict(data)
+                self.runs_executed += 1
+                self._store(spec, result)
+                out[i] = result
+        else:
+            for i, spec in misses:
+                result = execute_spec(spec)
+                self.runs_executed += 1
+                self._store(spec, result)
+                out[i] = result
+        return out

@@ -1,11 +1,21 @@
-"""Command-line entry point: run paper experiments from a shell.
+"""Command-line entry point: run paper experiments and spec campaigns.
 
 Examples::
 
     fastcap-repro list
-    fastcap-repro run fig9 --quick
-    fastcap-repro run table1 --full
+    fastcap-repro run fig9                       # quick mode (default)
+    fastcap-repro run table1 --mode full --jobs 4
+    fastcap-repro sweep --workloads MIX1,MIX2 --policies fastcap,cpu-only \\
+        --budgets 0.4,0.6 --max-epochs 40 --jobs 4 --cache-dir results/cache
+    fastcap-repro batch campaign.json --jobs 8 --cache-dir results/cache
     python -m repro.cli run fig3 --quick
+
+``run`` executes one registered paper experiment; ``sweep`` builds a
+(workloads × policies × budgets) campaign grid from flags; ``batch``
+runs a campaign JSON file (``Campaign.to_json`` format).  All three
+accept ``--jobs`` (multiprocessing fan-out) and ``--cache-dir``
+(persistent content-addressed result cache: a re-run with a warm
+cache performs zero simulator runs).
 """
 
 from __future__ import annotations
@@ -13,6 +23,60 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+#: Valid values for the quick/full resolution.
+MODES = ("quick", "full")
+
+
+def _add_mode_arguments(parser: argparse.ArgumentParser) -> None:
+    """Mutually exclusive quick/full selection (see :func:`resolve_mode`)."""
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--mode",
+        choices=MODES,
+        default=None,
+        help="explicit run scale (default: quick)",
+    )
+    mode.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-scale runs (same as --mode quick; the default)",
+    )
+    mode.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size runs (paper-scale instruction quotas; "
+        "same as --mode full)",
+    )
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for parallel spec fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result cache (content-addressed by spec hash)",
+    )
+
+
+def resolve_mode(args: argparse.Namespace) -> str:
+    """Resolve the quick/full selection to an explicit mode string.
+
+    Priority: ``--mode`` if given, else ``--full``, else quick.  The
+    historical ``--quick`` flag is honoured explicitly rather than via
+    an argparse default, so every path through here is testable.
+    """
+    if getattr(args, "mode", None):
+        return args.mode
+    if getattr(args, "full", False):
+        return "full"
+    return "quick"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,45 +90,217 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", help="experiment id (e.g. fig9, table1)")
-    mode = run_p.add_mutually_exclusive_group()
-    mode.add_argument(
-        "--quick",
-        action="store_true",
-        default=True,
-        help="CI-scale runs (default)",
-    )
-    mode.add_argument(
-        "--full",
-        action="store_true",
-        help="full-size runs (paper-scale instruction quotas)",
-    )
+    _add_mode_arguments(run_p)
+    _add_campaign_arguments(run_p)
     run_p.add_argument(
         "--csv-dir",
         metavar="DIR",
         help="also export the output's tables/series as CSV files",
     )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a (workloads x policies x budgets) campaign grid"
+    )
+    sweep_p.add_argument(
+        "--workloads",
+        default="MIX1,MIX2,MIX3,MIX4",
+        help="comma-separated workload names (default: the MIX class)",
+    )
+    sweep_p.add_argument(
+        "--policies",
+        default="fastcap",
+        help="comma-separated policy names; parameterized names like "
+        "'fastcap:search=exhaustive' work (default: fastcap)",
+    )
+    sweep_p.add_argument(
+        "--budgets",
+        default="0.4,0.6,0.8",
+        help="comma-separated budget fractions (default: 0.4,0.6,0.8)",
+    )
+    sweep_p.add_argument(
+        "--cores", type=int, default=16, help="core count (default 16)"
+    )
+    sweep_p.add_argument(
+        "--seed", type=int, default=1, help="simulation seed (default 1)"
+    )
+    sweep_p.add_argument(
+        "--max-epochs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap runs at N epochs instead of the instruction quota",
+    )
+    sweep_p.add_argument(
+        "--engine",
+        choices=("mva", "eventsim"),
+        default="mva",
+        help="simulation engine (default mva)",
+    )
+    sweep_p.add_argument(
+        "--baselines",
+        action="store_true",
+        help="also run max-frequency baselines and report degradation",
+    )
+    sweep_p.add_argument(
+        "--decision-times",
+        action="store_true",
+        help="record per-epoch decision wall times (off by default so "
+        "sweep results are bit-reproducible across runs and workers)",
+    )
+    _add_mode_arguments(sweep_p)
+    _add_campaign_arguments(sweep_p)
+
+    batch_p = sub.add_parser(
+        "batch", help="run a campaign JSON file (Campaign.to_json format)"
+    )
+    batch_p.add_argument("campaign_file", help="path to the campaign JSON")
+    batch_p.add_argument(
+        "--baselines",
+        action="store_true",
+        help="also run max-frequency baselines and report degradation",
+    )
+    _add_mode_arguments(batch_p)
+    _add_campaign_arguments(batch_p)
+
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    # Import here so `--help` stays fast.
-    from repro.experiments import list_experiments, run_experiment
+def _split_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
 
+
+def _parse_budgets(text: str) -> List[float]:
+    from repro.errors import ConfigurationError
+
+    try:
+        return [float(b) for b in _split_csv(text)]
+    except ValueError:
+        raise ConfigurationError(
+            f"--budgets must be comma-separated numbers, got {text!r}"
+        ) from None
+
+
+def _run_campaign_command(campaign, args: argparse.Namespace) -> int:
+    """Shared implementation of ``sweep`` and ``batch``."""
+    from repro.campaign import CampaignRunner
+    from repro.experiments.report import Table
+    from repro.metrics.performance import normalized_degradation
+
+    runner = CampaignRunner(
+        quick=resolve_mode(args) == "quick",
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    results = runner.run_campaign(
+        campaign, include_baselines=args.baselines
+    )
+    headers = [
+        "workload",
+        "policy",
+        "budget",
+        "epochs",
+        "mean W",
+        "mean/budget",
+        "max W",
+    ]
+    if args.baselines:
+        headers.append("avg degradation")
+    rows = []
+    for spec in campaign:
+        result = results[spec]
+        row = [
+            spec.workload,
+            spec.policy,
+            f"{spec.budget_fraction:.0%}",
+            result.n_epochs,
+            result.mean_power_w(),
+            result.mean_power_w() / result.budget_watts,
+            result.max_epoch_power_w(),
+        ]
+        if args.baselines:
+            degr = normalized_degradation(result, results.baseline(spec))
+            row.append(float(degr.mean()))
+        rows.append(tuple(row))
+    print(f"== campaign {campaign.name}: {len(campaign)} specs ==")
+    print(Table(headers=tuple(headers), rows=tuple(rows)).render())
+    print(
+        f"runs: {results.runs_executed} simulated, "
+        f"{results.cache_hits} from cache"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        raise
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # ReproError and friends: clean CLI surface
+        from repro.errors import ReproError
+
+        if not isinstance(exc, ReproError):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    # Import here so `--help` stays fast.
     if args.command == "list":
+        from repro.experiments import list_experiments
+
         for experiment_id in list_experiments():
             print(experiment_id)
         return 0
 
-    quick = not args.full
-    output = run_experiment(args.experiment, quick=quick)
-    print(output.render())
-    if args.csv_dir:
-        from repro.experiments.export import export_csv
+    if args.command == "run":
+        from repro.experiments import run_experiment
 
-        for path in export_csv(output, args.csv_dir):
-            print(f"wrote {path}")
-    return 0
+        output = run_experiment(
+            args.experiment,
+            quick=resolve_mode(args) == "quick",
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+        print(output.render())
+        if args.csv_dir:
+            from repro.experiments.export import export_csv
+
+            for path in export_csv(output, args.csv_dir):
+                print(f"wrote {path}")
+        return 0
+
+    if args.command == "sweep":
+        from repro.campaign import Campaign
+
+        campaign = Campaign.grid(
+            "sweep",
+            workloads=_split_csv(args.workloads),
+            policies=_split_csv(args.policies),
+            budgets=_parse_budgets(args.budgets),
+            n_cores=args.cores,
+            seed=args.seed,
+            engine=args.engine,
+            record_decision_time=args.decision_times,
+            **(
+                dict(instruction_quota=None, max_epochs=args.max_epochs)
+                if args.max_epochs is not None
+                else {}
+            ),
+        )
+        return _run_campaign_command(campaign, args)
+
+    if args.command == "batch":
+        from repro.campaign import Campaign
+
+        with open(args.campaign_file) as handle:
+            campaign = Campaign.from_json(handle.read())
+        return _run_campaign_command(campaign, args)
+
+    raise AssertionError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":

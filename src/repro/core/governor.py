@@ -45,6 +45,7 @@ class FastCapGovernor(ModelDrivenPolicy):
         memory_mode: str = "dvfs",
         name: Optional[str] = None,
         processor_groups: Optional[ProcessorGroups] = None,
+        repair: bool = True,
     ) -> None:
         super().__init__()
         if search not in ("binary", "exhaustive"):
@@ -54,6 +55,8 @@ class FastCapGovernor(ModelDrivenPolicy):
         self._search = search
         self.uses_memory_dvfs = memory_mode == "dvfs"
         self._groups = processor_groups
+        #: Quantization-repair pass toggle (ablation: repair=False).
+        self.repair = repair
         self.name = name or ("fastcap" if self.uses_memory_dvfs else "cpu-only")
         self.last_decision: Optional[FastCapDecision] = None
 
@@ -79,4 +82,6 @@ class FastCapGovernor(ModelDrivenPolicy):
         else:
             decision = exhaustive_sb(inputs, inner=inner)
         self.last_decision = decision
-        return self.settings_from_z(inputs, decision.z, decision.sb_index)
+        return self.settings_from_z(
+            inputs, decision.z, decision.sb_index, repair_quantization=self.repair
+        )

@@ -10,6 +10,11 @@ Every experiment returns an :class:`repro.experiments.report.ExperimentOutput`
 carrying the same rows/series the paper's artefact shows, plus notes on
 the expected shape.  ``quick=True`` shrinks instruction quotas and
 epoch counts to CI scale; EXPERIMENTS.md records full-size results.
+
+Each module declares its spec grid as a ``campaign()`` function and
+executes it through :meth:`repro.campaign.CampaignRunner.run_campaign`,
+so every experiment benefits from the runner's parallel fan-out
+(``jobs=N``) and persistent result cache (``cache_dir=...``).
 """
 
 from repro.experiments.registry import (

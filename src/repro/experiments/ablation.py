@@ -10,108 +10,95 @@ workload/budget:
   is what removes persistent small overshoots);
 * **counter noise** 0% / 1% / 5% (how robust the whole loop is to
   profiling-window sampling error).
+
+Every variant is expressible as a plain :class:`RunSpec` — the search
+mode and noise overrides are spec fields, and the repair toggle is a
+parameterized policy name — so the whole study is one campaign.
 """
 
 from __future__ import annotations
 
+from typing import Tuple
+
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.performance import normalized_degradation
 from repro.metrics.power import summarize_power
-from repro.policies.registry import make_policy
-from repro.sim.config import NoiseConfig
-from repro.sim.server import MaxFrequencyPolicy, ServerSimulator
-from repro.workloads import get_workload
 
 WORKLOAD = "MIX4"
 BUDGET = 0.60
 
+#: (label, spec) for every ablation variant.
+VARIANTS: Tuple[Tuple[str, RunSpec], ...] = (
+    (
+        "default (binary, repair, 1% noise)",
+        RunSpec(workload=WORKLOAD, policy="fastcap", budget_fraction=BUDGET),
+    ),
+    (
+        "exhaustive search",
+        RunSpec(
+            workload=WORKLOAD,
+            policy="fastcap",
+            budget_fraction=BUDGET,
+            search="exhaustive",
+        ),
+    ),
+    (
+        "no quantization repair",
+        RunSpec(
+            workload=WORKLOAD,
+            policy="fastcap:repair=false",
+            budget_fraction=BUDGET,
+        ),
+    ),
+    (
+        "noise 0%",
+        RunSpec(
+            workload=WORKLOAD,
+            policy="fastcap",
+            budget_fraction=BUDGET,
+            counter_noise=0.0,
+            power_noise=0.0,
+        ),
+    ),
+    (
+        "noise 5%",
+        RunSpec(
+            workload=WORKLOAD,
+            policy="fastcap",
+            budget_fraction=BUDGET,
+            counter_noise=0.05,
+            power_noise=0.05,
+        ),
+    ),
+)
 
-def _run_variant(
-    runner: ExperimentRunner,
-    label: str,
-    policy,
-    noise: NoiseConfig = None,
-):
-    spec = runner.scaled(
-        RunSpec(workload=WORKLOAD, policy="fastcap", budget_fraction=BUDGET)
-    )
-    config = runner.config_for(spec)
-    if noise is not None:
-        config = config.with_updates(noise=noise)
-    sim = ServerSimulator(config, get_workload(WORKLOAD), seed=spec.seed)
-    run = sim.run(
-        policy,
-        budget_fraction=BUDGET,
-        instruction_quota=spec.instruction_quota,
-        max_epochs=spec.max_epochs,
-    )
-    base_sim = ServerSimulator(config, get_workload(WORKLOAD), seed=spec.seed)
-    base = base_sim.run(
-        MaxFrequencyPolicy(),
-        budget_fraction=1.0,
-        instruction_quota=spec.instruction_quota,
-        max_epochs=spec.max_epochs,
-    )
-    power = summarize_power(run)
-    degr = normalized_degradation(run, base)
-    return (
-        label,
-        power.mean_of_budget,
-        power.max_overshoot_fraction,
-        power.longest_violation_epochs,
-        float(degr.mean()),
-        float(degr.max() / degr.mean()),
-    )
 
-
-class _NoRepairGovernor:
-    """FastCap with the quantization-repair pass disabled."""
-
-    name = "fastcap-no-repair"
-
-    def __init__(self) -> None:
-        from repro.core.governor import FastCapGovernor
-
-        self._inner = FastCapGovernor()
-
-    def initialize(self, view) -> None:
-        self._inner.initialize(view)
-
-    def decide(self, counters):
-        inner = self._inner
-        inner._update_fits(counters)
-        inputs = inner.build_inputs(counters, memory_dvfs=True)
-        from repro.core.algorithm import binary_search_sb
-
-        decision = binary_search_sb(inputs)
-        return inner.settings_from_z(
-            inputs, decision.z, decision.sb_index, repair_quantization=False
-        )
+def campaign() -> Campaign:
+    """The full variant grid of the ablation study."""
+    return Campaign("ablation", (spec for _, spec in VARIANTS))
 
 
 @register("ablation", "Design-choice ablations (search, repair, noise)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
-    rows = [
-        _run_variant(runner, "default (binary, repair, 1% noise)",
-                     make_policy("fastcap")),
-        _run_variant(runner, "exhaustive search",
-                     make_policy("fastcap-exhaustive")),
-        _run_variant(runner, "no quantization repair", _NoRepairGovernor()),
-        _run_variant(
-            runner,
-            "noise 0%",
-            make_policy("fastcap"),
-            noise=NoiseConfig(counter_rel_sigma=0.0, power_rel_sigma=0.0),
-        ),
-        _run_variant(
-            runner,
-            "noise 5%",
-            make_policy("fastcap"),
-            noise=NoiseConfig(counter_rel_sigma=0.05, power_rel_sigma=0.05),
-        ),
-    ]
+    results = runner.run_campaign(campaign(), include_baselines=True)
+    rows = []
+    for label, spec in VARIANTS:
+        variant, base = results.pair(spec)
+        power = summarize_power(variant)
+        degr = normalized_degradation(variant, base)
+        rows.append(
+            (
+                label,
+                power.mean_of_budget,
+                power.max_overshoot_fraction,
+                power.longest_violation_epochs,
+                float(degr.mean()),
+                float(degr.max() / degr.mean()),
+            )
+        )
     out = ExperimentOutput(
         "ablation", "Design-choice ablations (search, repair, noise)"
     )

@@ -8,9 +8,10 @@ FastCap's.
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.performance import summarize_degradation
 from repro.metrics.power import summarize_power
 from repro.workloads import MIX_CLASSES, WorkloadClass
@@ -20,8 +21,17 @@ N_CORES = 64
 POLICIES = ("fastcap", "eql-freq")
 
 
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign.grid(
+        "fig10", workloads=MIX_CLASSES[WorkloadClass.MIX], policies=POLICIES,
+        budgets=(BUDGET,), n_cores=N_CORES,
+    )
+
+
 @register("fig10", "FastCap vs Eql-Freq on 64-core MIX workloads (B=60%)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    results = runner.run_campaign(campaign(), include_baselines=True)
     rows = []
     harvest = {}
     for policy in POLICIES:
@@ -33,7 +43,7 @@ def run(runner: ExperimentRunner) -> ExperimentOutput:
                 budget_fraction=BUDGET,
                 n_cores=N_CORES,
             )
-            run_result, base = runner.run_with_baseline(spec)
+            run_result, base = results.pair(spec)
             runs.append(run_result)
             bases.append(base)
         summary = summarize_degradation(runs, bases)

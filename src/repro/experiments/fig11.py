@@ -8,9 +8,10 @@ the outlier problem FastCap's fairness constraint prevents.
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.performance import summarize_degradation
 from repro.workloads import MIX_CLASSES, WorkloadClass
 
@@ -19,8 +20,17 @@ N_CORES = 4
 POLICIES = ("fastcap", "maxbips")
 
 
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign.grid(
+        "fig11", workloads=MIX_CLASSES[WorkloadClass.MIX], policies=POLICIES,
+        budgets=(BUDGET,), n_cores=N_CORES,
+    )
+
+
 @register("fig11", "FastCap vs MaxBIPS on 4-core MIX workloads (B=60%)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    results = runner.run_campaign(campaign(), include_baselines=True)
     rows = []
     for policy in POLICIES:
         runs, bases = [], []
@@ -31,7 +41,7 @@ def run(runner: ExperimentRunner) -> ExperimentOutput:
                 budget_fraction=BUDGET,
                 n_cores=N_CORES,
             )
-            run_result, base = runner.run_with_baseline(spec)
+            run_result, base = results.pair(spec)
             runs.append(run_result)
             bases.append(base)
         summary = summarize_degradation(runs, bases)

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.power import summarize_power
-from repro.workloads import MIX_CLASSES, WorkloadClass
+from repro.workloads import ALL_MIXES, MIX_CLASSES, WorkloadClass
 
 BUDGET = 0.60
 
@@ -30,8 +31,26 @@ CONFIGS: Tuple[Tuple[str, dict], ...] = (
 )
 
 
+def campaign() -> Campaign:
+    """The full spec grid of Figs 12/13: every config × every mix."""
+    return Campaign(
+        "fig12",
+        (
+            RunSpec(
+                workload=workload,
+                policy="fastcap",
+                budget_fraction=BUDGET,
+                **overrides,
+            )
+            for _, overrides in CONFIGS
+            for workload in ALL_MIXES
+        ),
+    )
+
+
 @register("fig12", "FastCap power across system configurations (B=60%)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    results = runner.run_campaign(campaign())
     rows = []
     for label, overrides in CONFIGS:
         for cls in WorkloadClass:
@@ -45,7 +64,7 @@ def run(runner: ExperimentRunner) -> ExperimentOutput:
                     budget_fraction=BUDGET,
                     **overrides,
                 )
-                stats = summarize_power(runner.run(spec))
+                stats = summarize_power(results[spec])
                 if stats.mean_of_peak > max_avg:
                     max_avg = stats.mean_of_peak
                     max_avg_workload = workload

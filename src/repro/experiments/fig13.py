@@ -10,18 +10,26 @@ improved baseline when capped).
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.fig12 import CONFIGS
+from repro.experiments.fig12 import campaign as fig12_campaign
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.performance import summarize_degradation
 from repro.workloads import MIX_CLASSES, WorkloadClass
 
 BUDGET = 0.60
 
 
+def campaign() -> Campaign:
+    """Same grid as Fig. 12 (the runs are shared via the cache)."""
+    return Campaign("fig13", fig12_campaign().specs)
+
+
 @register("fig13", "FastCap fairness across system configurations (B=60%)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    results = runner.run_campaign(campaign(), include_baselines=True)
     rows = []
     for label, overrides in CONFIGS:
         for cls in WorkloadClass:
@@ -33,7 +41,7 @@ def run(runner: ExperimentRunner) -> ExperimentOutput:
                     budget_fraction=BUDGET,
                     **overrides,
                 )
-                run_result, base = runner.run_with_baseline(spec)
+                run_result, base = results.pair(spec)
                 runs.append(run_result)
                 bases.append(base)
             summary = summarize_degradation(runs, bases)

@@ -8,25 +8,34 @@ MEM under larger budgets).
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.power import summarize_power
 from repro.workloads import ALL_MIXES
 
 BUDGET = 0.60
 
 
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign.grid(
+        "fig3", workloads=tuple(ALL_MIXES), policies=("fastcap",),
+        budgets=(BUDGET,),
+    )
+
+
 @register("fig3", "FastCap average power normalized to peak (B=60%)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    grid = campaign()
+    results = runner.run_campaign(grid)
     rows = []
-    for name in ALL_MIXES:
-        spec = RunSpec(workload=name, policy="fastcap", budget_fraction=BUDGET)
-        result = runner.run(spec)
-        power = summarize_power(result)
+    for spec in grid:
+        power = summarize_power(results[spec])
         rows.append(
             (
-                name,
+                spec.workload,
                 power.mean_of_peak,
                 power.max_of_peak,
                 power.violation_fraction,

@@ -7,24 +7,27 @@ memory series move in opposition around a total that hugs the budget.
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, series_from_arrays
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 
 BUDGET = 0.60
 EPOCHS = 150
 
 
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign.grid(
+        "fig4", workloads=("MIX3",), policies=("fastcap",), budgets=(BUDGET,),
+        instruction_quota=None, max_epochs=EPOCHS,
+    )
+
+
 @register("fig4", "Core/memory power breakdown over time (MIX3, B=60%)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
-    spec = RunSpec(
-        workload="MIX3",
-        policy="fastcap",
-        budget_fraction=BUDGET,
-        instruction_quota=None,
-        max_epochs=EPOCHS,
-    )
-    result = runner.run(spec)
+    grid = campaign()
+    result = runner.run_campaign(grid)[grid.specs[0]]
     peak = result.peak_power_w
     epochs = [float(e.index) for e in result.epochs]
 

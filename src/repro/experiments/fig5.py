@@ -8,27 +8,32 @@ workload cannot draw that much power even at maximum frequencies.
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, series_from_arrays
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.power import summarize_power
 
 BUDGETS = (0.40, 0.60, 0.80)
 EPOCHS = 120
 
 
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign.grid(
+        "fig5", workloads=("MEM3",), policies=("fastcap",), budgets=BUDGETS,
+        instruction_quota=None, max_epochs=EPOCHS,
+    )
+
+
 @register("fig5", "Power vs time under several budgets (MEM3)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
     out = ExperimentOutput("fig5", "Power vs time under several budgets (MEM3)")
-    for budget in BUDGETS:
-        spec = RunSpec(
-            workload="MEM3",
-            policy="fastcap",
-            budget_fraction=budget,
-            instruction_quota=None,
-            max_epochs=EPOCHS,
-        )
-        result = runner.run(spec)
+    grid = campaign()
+    results = runner.run_campaign(grid)
+    for spec in grid:
+        budget = spec.budget_fraction
+        result = results[spec]
         peak = result.peak_power_w
         epochs = [float(e.index) for e in result.epochs]
         out.series[f"B={budget:.0%}"] = series_from_arrays(

@@ -8,17 +8,32 @@ cap forces smaller frequency reductions).
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.performance import summarize_degradation
 from repro.workloads import MIX_CLASSES, WorkloadClass
 
 BUDGETS = (0.40, 0.60, 0.80)
 
 
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign(
+        "fig6",
+        (
+            RunSpec(workload=workload, policy="fastcap", budget_fraction=budget)
+            for budget in BUDGETS
+            for cls in WorkloadClass
+            for workload in MIX_CLASSES[cls]
+        ),
+    )
+
+
 @register("fig6", "FastCap avg/worst app performance per class and budget")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    results = runner.run_campaign(campaign(), include_baselines=True)
     rows = []
     for budget in BUDGETS:
         for cls in WorkloadClass:
@@ -27,7 +42,7 @@ def run(runner: ExperimentRunner) -> ExperimentOutput:
                 spec = RunSpec(
                     workload=workload, policy="fastcap", budget_fraction=budget
                 )
-                run_result, base = runner.run_with_baseline(spec)
+                run_result, base = results.pair(spec)
                 runs.append(run_result)
                 bases.append(base)
             summary = summarize_degradation(runs, bases)

@@ -9,9 +9,10 @@ slower memory with faster cores.
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, series_from_arrays
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.units import GHZ
 
 BUDGET = 0.80
@@ -23,12 +24,22 @@ TRACES = (
 )
 
 
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign.grid(
+        "fig7", workloads=tuple(dict.fromkeys(w for w, _ in TRACES)),
+        policies=("fastcap",), budgets=(BUDGET,),
+        instruction_quota=None, max_epochs=EPOCHS,
+    )
+
+
 @register("fig7", "Core frequency over time for selected applications (B=80%)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
     out = ExperimentOutput(
         "fig7", "Core frequency over time for selected applications (B=80%)"
     )
     means = {}
+    results = runner.run_campaign(campaign())
     for workload, app in TRACES:
         spec = RunSpec(
             workload=workload,
@@ -37,7 +48,7 @@ def run(runner: ExperimentRunner) -> ExperimentOutput:
             instruction_quota=None,
             max_epochs=EPOCHS,
         )
-        result = runner.run(spec)
+        result = results[spec]
         core = result.app_names.index(app)
         xs = [float(e.index) for e in result.epochs]
         ys = [e.core_frequencies_hz[core] / GHZ for e in result.epochs]

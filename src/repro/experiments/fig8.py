@@ -7,14 +7,23 @@ at/near the maximum; MIX4 sits in the middle of the range.
 
 from __future__ import annotations
 
+from repro.campaign import Campaign
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, series_from_arrays
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.units import MHZ
 
 BUDGET = 0.80
 EPOCHS = 120
 WORKLOADS = ("ILP1", "MEM1", "MIX4")
+
+
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign.grid(
+        "fig8", workloads=WORKLOADS, policies=("fastcap",), budgets=(BUDGET,),
+        instruction_quota=None, max_epochs=EPOCHS,
+    )
 
 
 @register("fig8", "Memory frequency over time (ILP1/MEM1/MIX4, B=80%)")
@@ -23,15 +32,11 @@ def run(runner: ExperimentRunner) -> ExperimentOutput:
         "fig8", "Memory frequency over time (ILP1/MEM1/MIX4, B=80%)"
     )
     means = {}
-    for workload in WORKLOADS:
-        spec = RunSpec(
-            workload=workload,
-            policy="fastcap",
-            budget_fraction=BUDGET,
-            instruction_quota=None,
-            max_epochs=EPOCHS,
-        )
-        result = runner.run(spec)
+    grid = campaign()
+    results = runner.run_campaign(grid)
+    for spec in grid:
+        workload = spec.workload
+        result = results[spec]
         xs = [float(e.index) for e in result.epochs]
         ys = [e.bus_frequency_hz / MHZ for e in result.epochs]
         out.series[workload] = series_from_arrays("epoch", "memory MHz", xs, ys)

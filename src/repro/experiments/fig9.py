@@ -11,19 +11,29 @@ slower than its average on heterogeneous mixes.
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.performance import summarize_degradation
 from repro.metrics.power import summarize_power
-from repro.workloads import MIX_CLASSES, WorkloadClass
+from repro.workloads import ALL_MIXES, MIX_CLASSES, WorkloadClass
 
 BUDGET = 0.60
 POLICIES = ("fastcap", "cpu-only", "freq-par", "eql-pwr")
 
 
+def campaign() -> Campaign:
+    """The full spec grid this figure runs."""
+    return Campaign.grid(
+        "fig9", workloads=tuple(ALL_MIXES), policies=POLICIES,
+        budgets=(BUDGET,),
+    )
+
+
 @register("fig9", "FastCap vs CPU-only*, Freq-Par*, Eql-Pwr (B=60%)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    results = runner.run_campaign(campaign(), include_baselines=True)
     rows = []
     oscillation = {}
     for policy in POLICIES:
@@ -33,7 +43,7 @@ def run(runner: ExperimentRunner) -> ExperimentOutput:
                 spec = RunSpec(
                     workload=workload, policy=policy, budget_fraction=BUDGET
                 )
-                run_result, base = runner.run_with_baseline(spec)
+                run_result, base = results.pair(spec)
                 runs.append(run_result)
                 bases.append(base)
                 if policy == "freq-par" and workload == "MIX3":

@@ -10,9 +10,10 @@ Two parts:
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.power import summarize_power
 
 WORKLOAD = "MIX2"
@@ -21,31 +22,45 @@ CORE_COUNTS = (16, 32, 64)
 EPOCH_LENGTHS_MS = (5.0, 10.0, 20.0)
 
 
+def _cost_spec(n_cores: int) -> RunSpec:
+    return RunSpec(
+        workload=WORKLOAD,
+        policy="fastcap",
+        budget_fraction=BUDGET,
+        n_cores=n_cores,
+        instruction_quota=None,
+        max_epochs=30,
+    )
+
+
+def _epoch_spec(epoch_ms: float) -> RunSpec:
+    return RunSpec(
+        workload=WORKLOAD,
+        policy="fastcap",
+        budget_fraction=BUDGET,
+        epoch_ms=epoch_ms,
+    )
+
+
+def campaign() -> Campaign:
+    """The full spec grid of both study parts."""
+    specs = [_cost_spec(n) for n in CORE_COUNTS]
+    specs += [_epoch_spec(ms) for ms in EPOCH_LENGTHS_MS]
+    return Campaign("overhead", specs)
+
+
 @register("overhead", "Algorithm overhead and epoch-length study (§IV-B)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    results = runner.run_campaign(campaign())
     cost_rows = []
     for n in CORE_COUNTS:
-        spec = RunSpec(
-            workload=WORKLOAD,
-            policy="fastcap",
-            budget_fraction=BUDGET,
-            n_cores=n,
-            instruction_quota=None,
-            max_epochs=30,
-        )
-        result = runner.run(spec)
+        result = results[_cost_spec(n)]
         mean_us = result.mean_decision_time_s() * 1e6
         cost_rows.append((n, mean_us, mean_us / 5000.0))
 
     epoch_rows = []
     for epoch_ms in EPOCH_LENGTHS_MS:
-        spec = RunSpec(
-            workload=WORKLOAD,
-            policy="fastcap",
-            budget_fraction=BUDGET,
-            epoch_ms=epoch_ms,
-        )
-        stats = summarize_power(runner.run(spec))
+        stats = summarize_power(results[_epoch_spec(epoch_ms)])
         epoch_rows.append(
             (
                 f"{epoch_ms:.0f} ms",

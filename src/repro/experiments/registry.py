@@ -45,8 +45,15 @@ def run_experiment(
     experiment_id: str,
     quick: bool = True,
     runner: ExperimentRunner = None,
+    jobs: int = 1,
+    cache_dir: str = None,
 ) -> ExperimentOutput:
-    """Run one experiment by id and return its output."""
+    """Run one experiment by id and return its output.
+
+    ``jobs`` and ``cache_dir`` configure the campaign runner's
+    parallel fan-out and persistent result cache; both are ignored
+    when an explicit ``runner`` is passed.
+    """
     try:
         spec = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -54,5 +61,5 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; known: {list_experiments()}"
         ) from None
     if runner is None:
-        runner = ExperimentRunner(quick=quick)
+        runner = ExperimentRunner(quick=quick, jobs=jobs, cache_dir=cache_dir)
     return spec.fn(runner)

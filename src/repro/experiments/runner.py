@@ -1,126 +1,22 @@
-"""Experiment runner: (config, workload, policy, budget) → RunResult.
+"""Experiment runner — compatibility shim over the campaign API.
 
-Centralises the plumbing every figure needs: building Table II presets
-from run specs, instantiating policies by name, running the simulator,
-and caching the max-frequency baseline runs that normalize performance
-(one baseline serves every policy on the same workload/config/seed).
+Historically this module owned ``RunSpec`` and ``ExperimentRunner``;
+both now live in :mod:`repro.campaign` as first-class public API
+(serializable specs, multiprocessing fan-out, persistent result
+caching).  The old names keep working:
+
+* :class:`RunSpec` is re-exported from :mod:`repro.campaign.spec`;
+* :class:`ExperimentRunner` *is* :class:`repro.campaign.CampaignRunner`
+  (the ``quick``/``quick_factor`` constructor arguments are unchanged;
+  ``jobs`` and ``cache_dir`` are new).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import RunSpec
 
-from repro.policies.registry import make_policy
-from repro.sim.config import SystemConfig, table2_config
-from repro.sim.server import MaxFrequencyPolicy, RunResult, ServerSimulator
-from repro.units import MS
+#: Historical name for the campaign runner.
+ExperimentRunner = CampaignRunner
 
-
-@dataclass(frozen=True)
-class RunSpec:
-    """Complete description of one simulated run."""
-
-    workload: str
-    policy: str
-    budget_fraction: float
-    n_cores: int = 16
-    ooo: bool = False
-    n_controllers: int = 1
-    controller_skew: float = 0.0
-    epoch_ms: float = 5.0
-    seed: int = 1
-    instruction_quota: Optional[float] = 100e6
-    max_epochs: Optional[int] = None
-
-    def config_key(self) -> Tuple:
-        return (
-            self.n_cores,
-            self.ooo,
-            self.n_controllers,
-            self.controller_skew,
-            self.epoch_ms,
-        )
-
-    def baseline_key(self) -> Tuple:
-        return self.config_key() + (
-            self.workload,
-            self.seed,
-            self.instruction_quota,
-            self.max_epochs,
-        )
-
-
-class ExperimentRunner:
-    """Runs specs, with baseline caching and quick-mode scaling.
-
-    ``quick=True`` divides instruction quotas and epoch caps by
-    ``quick_factor`` so experiments finish at CI speed while keeping
-    the same qualitative shapes (EXPERIMENTS.md records full runs).
-    """
-
-    def __init__(self, quick: bool = False, quick_factor: float = 5.0) -> None:
-        self.quick = quick
-        self.quick_factor = quick_factor
-        self._baselines: Dict[Tuple, RunResult] = {}
-
-    # ------------------------------------------------------------------
-    def scaled(self, spec: RunSpec) -> RunSpec:
-        """Apply quick-mode scaling to a spec."""
-        if not self.quick:
-            return spec
-        quota = spec.instruction_quota
-        epochs = spec.max_epochs
-        if quota is not None:
-            quota = max(quota / self.quick_factor, 5e6)
-        if epochs is not None:
-            epochs = max(int(epochs / self.quick_factor), 10)
-        return replace(spec, instruction_quota=quota, max_epochs=epochs)
-
-    def config_for(self, spec: RunSpec) -> SystemConfig:
-        return table2_config(
-            n_cores=spec.n_cores,
-            ooo=spec.ooo,
-            n_controllers=spec.n_controllers,
-            controller_skew=spec.controller_skew,
-            epoch_s=spec.epoch_ms * MS,
-        )
-
-    # ------------------------------------------------------------------
-    def run(self, spec: RunSpec) -> RunResult:
-        """Run one spec (quick-scaled) and return its result."""
-        spec = self.scaled(spec)
-        from repro.workloads import get_workload  # local: keeps import cheap
-
-        config = self.config_for(spec)
-        sim = ServerSimulator(config, get_workload(spec.workload), seed=spec.seed)
-        policy = make_policy(spec.policy)
-        return sim.run(
-            policy,
-            budget_fraction=spec.budget_fraction,
-            instruction_quota=spec.instruction_quota,
-            max_epochs=spec.max_epochs,
-        )
-
-    def baseline(self, spec: RunSpec) -> RunResult:
-        """Max-frequency baseline for a spec's workload/config (cached)."""
-        spec = self.scaled(spec)
-        key = spec.baseline_key()
-        if key not in self._baselines:
-            from repro.workloads import get_workload
-
-            config = self.config_for(spec)
-            sim = ServerSimulator(
-                config, get_workload(spec.workload), seed=spec.seed
-            )
-            self._baselines[key] = sim.run(
-                MaxFrequencyPolicy(),
-                budget_fraction=1.0,
-                instruction_quota=spec.instruction_quota,
-                max_epochs=spec.max_epochs,
-            )
-        return self._baselines[key]
-
-    def run_with_baseline(self, spec: RunSpec) -> Tuple[RunResult, RunResult]:
-        """Run a spec and return (run, matching baseline)."""
-        return self.run(spec), self.baseline(spec)
+__all__ = ["ExperimentRunner", "RunSpec"]

@@ -13,17 +13,30 @@ from __future__ import annotations
 
 import math
 
+from repro.campaign import Campaign, CampaignResult, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
-from repro.experiments.runner import ExperimentRunner, RunSpec
+from repro.experiments.runner import ExperimentRunner
 
 WORKLOAD = "MID1"
 BUDGET = 0.60
 FASTCAP_CORES = (4, 16, 32, 64)
 
+#: (policy, claimed complexity, core count) rows of the table.
+ENTRIES = (
+    tuple(("fastcap", "O(N log M)", n) for n in FASTCAP_CORES)
+    + (
+        ("cpu-only", "O(N)", 16),
+        ("eql-freq", "O(F M)", 16),
+        ("eql-pwr", "O(N M F)", 16),
+        ("greedy-heap", "O(F N log N)", 16),
+        ("maxbips", "O(F^N M)", 4),
+    )
+)
 
-def _mean_decision_us(runner: ExperimentRunner, policy: str, n_cores: int) -> float:
-    spec = RunSpec(
+
+def _spec(policy: str, n_cores: int) -> RunSpec:
+    return RunSpec(
         workload=WORKLOAD,
         policy=policy,
         budget_fraction=BUDGET,
@@ -31,38 +44,31 @@ def _mean_decision_us(runner: ExperimentRunner, policy: str, n_cores: int) -> fl
         instruction_quota=None,
         max_epochs=30,
     )
-    result = runner.run(spec)
-    return result.mean_decision_time_s() * 1e6
+
+
+def campaign() -> Campaign:
+    """The full spec grid this table runs."""
+    return Campaign(
+        "table1", (_spec(policy, n) for policy, _, n in ENTRIES)
+    )
+
+
+def _mean_decision_us(
+    results: CampaignResult, policy: str, n_cores: int
+) -> float:
+    return results[_spec(policy, n_cores)].mean_decision_time_s() * 1e6
 
 
 @register("table1", "Decision-cost comparison (Table I)")
 def run(runner: ExperimentRunner) -> ExperimentOutput:
+    results = runner.run_campaign(campaign())
     rows = []
     fastcap_times = {}
-    for n in FASTCAP_CORES:
-        t = _mean_decision_us(runner, "fastcap", n)
-        fastcap_times[n] = t
-        rows.append(("fastcap", "O(N log M)", n, t))
-    rows.append(
-        ("cpu-only", "O(N)", 16, _mean_decision_us(runner, "cpu-only", 16))
-    )
-    rows.append(
-        ("eql-freq", "O(F M)", 16, _mean_decision_us(runner, "eql-freq", 16))
-    )
-    rows.append(
-        ("eql-pwr", "O(N M F)", 16, _mean_decision_us(runner, "eql-pwr", 16))
-    )
-    rows.append(
-        (
-            "greedy-heap",
-            "O(F N log N)",
-            16,
-            _mean_decision_us(runner, "greedy-heap", 16),
-        )
-    )
-    rows.append(
-        ("maxbips", "O(F^N M)", 4, _mean_decision_us(runner, "maxbips", 4))
-    )
+    for policy, complexity, n in ENTRIES:
+        t = _mean_decision_us(results, policy, n)
+        if policy == "fastcap":
+            fastcap_times[n] = t
+        rows.append((policy, complexity, n, t))
 
     # Fitted growth exponent of FastCap cost vs core count.
     ns = sorted(fastcap_times)

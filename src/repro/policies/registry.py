@@ -1,8 +1,16 @@
-"""Policy registry: name → factory, used by experiments and the CLI."""
+"""Policy registry: name → factory, used by experiments and the CLI.
+
+Names are optionally *parameterized*: ``"fastcap:search=exhaustive"``
+instantiates the base factory with keyword arguments parsed from the
+``key=value`` list after the colon.  Values are coerced (``true`` /
+``false`` → bool, then int, then float, else string) and the
+instantiated policy's ``name`` is set to the canonical parameterized
+form so run results record exactly which variant produced them.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, Tuple
 
 from repro.core.governor import FastCapGovernor
 from repro.errors import ConfigurationError
@@ -14,27 +22,113 @@ from repro.policies.greedy_heap import GreedyHeapPolicy
 from repro.policies.maxbips import MaxBIPSPolicy
 from repro.sim.server import MaxFrequencyPolicy
 
-POLICY_FACTORIES: Dict[str, Callable[[], object]] = {
-    "fastcap": lambda: FastCapGovernor(search="binary"),
-    "fastcap-exhaustive": lambda: FastCapGovernor(
-        search="exhaustive", name="fastcap-exhaustive"
+POLICY_FACTORIES: Dict[str, Callable[..., object]] = {
+    "fastcap": lambda **kw: FastCapGovernor(**kw),
+    "fastcap-exhaustive": lambda **kw: FastCapGovernor(
+        search="exhaustive", name="fastcap-exhaustive", **kw
     ),
-    "cpu-only": CpuOnlyPolicy,
-    "freq-par": FreqParPolicy,
-    "eql-pwr": EqlPwrPolicy,
-    "eql-freq": EqlFreqPolicy,
-    "greedy-heap": GreedyHeapPolicy,
-    "maxbips": MaxBIPSPolicy,
-    "max-freq": MaxFrequencyPolicy,
+    "cpu-only": lambda **kw: CpuOnlyPolicy(**kw),
+    "freq-par": lambda **kw: FreqParPolicy(**kw),
+    "eql-pwr": lambda **kw: EqlPwrPolicy(**kw),
+    "eql-freq": lambda **kw: EqlFreqPolicy(**kw),
+    "greedy-heap": lambda **kw: GreedyHeapPolicy(**kw),
+    "maxbips": lambda **kw: MaxBIPSPolicy(**kw),
+    "max-freq": lambda **kw: MaxFrequencyPolicy(**kw),
 }
 
 
-def make_policy(name: str):
-    """Instantiate a policy by registry name."""
+def _coerce(text: str) -> Any:
+    """Parameter-value coercion: bool, int, float, else string."""
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
     try:
-        factory = POLICY_FACTORIES[name]
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def parse_policy_name(name: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"base:key=val,key2=val2"`` into (base, params).
+
+    A bare name returns ``(name, {})``.  Malformed parameter lists
+    (empty items, missing ``=``, empty keys/values, duplicate keys)
+    raise :class:`ConfigurationError`.
+    """
+    base, sep, param_text = name.partition(":")
+    base = base.strip()
+    if not base:
+        raise ConfigurationError(f"policy name {name!r} has no base name")
+    if not sep:
+        return base, {}
+    if not param_text.strip():
+        raise ConfigurationError(
+            f"policy name {name!r} has a ':' but no parameters"
+        )
+    params: Dict[str, Any] = {}
+    for item in param_text.split(","):
+        key, eq, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if not eq or not key or not value:
+            raise ConfigurationError(
+                f"bad policy parameter {item!r} in {name!r} "
+                "(expected key=value)"
+            )
+        if key in params:
+            raise ConfigurationError(
+                f"duplicate policy parameter {key!r} in {name!r}"
+            )
+        params[key] = _coerce(value)
+    return base, params
+
+
+def format_policy_name(base: str, params: Dict[str, Any]) -> str:
+    """Canonical parameterized name: sorted ``key=value`` list."""
+    if not params:
+        return base
+    body = ",".join(
+        f"{key}={_format_value(params[key])}" for key in sorted(params)
+    )
+    return f"{base}:{body}"
+
+
+def canonical_policy_name(name: str) -> str:
+    """Normalize a (possibly parameterized) policy name."""
+    return format_policy_name(*parse_policy_name(name))
+
+
+def make_policy(name: str):
+    """Instantiate a policy by (optionally parameterized) registry name."""
+    base, params = parse_policy_name(name)
+    try:
+        factory = POLICY_FACTORIES[base]
     except KeyError:
         raise ConfigurationError(
-            f"unknown policy {name!r}; known: {sorted(POLICY_FACTORIES)}"
+            f"unknown policy {base!r}; known: {sorted(POLICY_FACTORIES)}"
         ) from None
-    return factory()
+    try:
+        policy = factory(**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"policy {base!r} does not accept parameters "
+            f"{sorted(params)}: {exc}"
+        ) from None
+    if params:
+        try:
+            policy.name = format_policy_name(base, params)
+        except AttributeError:
+            pass
+    return policy

@@ -183,6 +183,9 @@ class RunResult:
         return total_energy / total_time if total_time > 0 else 0.0
 
     def max_epoch_power_w(self) -> float:
+        """Highest single-epoch power; 0.0 for a run with no epochs."""
+        if not self.epochs:
+            return 0.0
         return max(e.total_power_w for e in self.epochs)
 
     def per_core_tpi_s(self) -> np.ndarray:
@@ -192,7 +195,11 @@ class RunResult:
         of this against the max-frequency baseline run (equivalent to
         CPI at the nominal clock).
         """
-        assert self.instructions is not None
+        if self.instructions is None:
+            raise ConfigurationError(
+                "run result carries no instruction accounting; "
+                "per-core TPI is undefined"
+            )
         return self.elapsed_s / np.maximum(self.instructions, 1.0)
 
     def mean_decision_time_s(self) -> float:
@@ -684,8 +691,15 @@ class ServerSimulator:
         budget_fraction: float,
         instruction_quota: Optional[float] = 100e6,
         max_epochs: Optional[int] = None,
+        measure_decision_time: bool = True,
     ) -> RunResult:
-        """Run the workload under ``policy`` at the given budget."""
+        """Run the workload under ``policy`` at the given budget.
+
+        ``measure_decision_time=False`` records every per-epoch
+        decision time as exactly 0.0 instead of the measured wall
+        time — the one non-deterministic quantity in a run — so
+        results become bit-reproducible across hosts and workers.
+        """
         if instruction_quota is None and max_epochs is None:
             raise ConfigurationError(
                 "need an instruction quota or an epoch cap to terminate"
@@ -724,9 +738,13 @@ class ServerSimulator:
             counters = self.synthesize_counters(epoch_index, op_profile, settings)
 
             # --- decision ---------------------------------------------
-            t0 = time.perf_counter()
-            proposed = policy.decide(counters)
-            decision_time = time.perf_counter() - t0
+            if measure_decision_time:
+                t0 = time.perf_counter()
+                proposed = policy.decide(counters)
+                decision_time = time.perf_counter() - t0
+            else:
+                proposed = policy.decide(counters)
+                decision_time = 0.0
             new_settings = proposed.quantized(cfg)
 
             # --- transition overhead ----------------------------------

@@ -1,0 +1,103 @@
+"""On-disk result cache: hits, misses, formats, corruption handling."""
+
+import pytest
+
+from repro.campaign import ResultCache, RunSpec, execute_spec
+from repro.errors import ConfigurationError
+
+SPEC = RunSpec(
+    workload="ILP1",
+    policy="fastcap",
+    budget_fraction=0.6,
+    n_cores=4,
+    instruction_quota=None,
+    max_epochs=3,
+    record_decision_time=False,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return execute_spec(SPEC)
+
+
+class TestCacheBasics:
+    def test_miss_on_empty_cache(self, tmp_path, result):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(SPEC) is None
+        assert SPEC not in cache
+        assert len(cache) == 0
+
+    def test_put_then_get(self, tmp_path, result):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC, result)
+        assert SPEC in cache
+        assert len(cache) == 1
+        restored = cache.get(SPEC)
+        assert restored is not None
+        assert restored.policy_name == result.policy_name
+        assert restored.n_epochs == result.n_epochs
+        assert restored.mean_power_w() == pytest.approx(result.mean_power_w())
+
+    def test_entry_named_by_spec_hash(self, tmp_path, result):
+        cache = ResultCache(str(tmp_path))
+        path = cache.put(SPEC, result)
+        assert path.name == f"{SPEC.spec_hash()}.json"
+
+    def test_other_spec_misses(self, tmp_path, result):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC, result)
+        assert cache.get(SPEC.replace(seed=99)) is None
+
+    def test_creates_missing_directory(self, tmp_path):
+        root = tmp_path / "a" / "b"
+        ResultCache(str(root))
+        assert root.is_dir()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(str(tmp_path), fmt="parquet")
+
+
+class TestCorruption:
+    def test_corrupt_entry_is_a_miss(self, tmp_path, result):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC, result)
+        cache.path_for(SPEC).write_text("{not json")
+        assert cache.get(SPEC) is None
+
+    def test_spec_mismatch_is_a_miss(self, tmp_path, result):
+        # A hash collision (or a hash-scheme change reusing a file
+        # name) must never serve the wrong simulation.
+        cache = ResultCache(str(tmp_path))
+        other = SPEC.replace(seed=123)
+        cache.put(other, result)
+        cache.path_for(other).rename(cache.path_for(SPEC))
+        assert cache.get(SPEC) is None
+
+
+class TestNpzFormat:
+    def test_npz_round_trip(self, tmp_path, result):
+        cache = ResultCache(str(tmp_path), fmt="npz")
+        path = cache.put(SPEC, result)
+        assert path.suffix == ".npz"
+        restored = cache.get(SPEC)
+        assert restored is not None
+        assert restored.n_epochs == result.n_epochs
+        assert restored.mean_power_w() == pytest.approx(result.mean_power_w())
+        assert tuple(restored.epochs[0].core_frequencies_hz) == tuple(
+            result.epochs[0].core_frequencies_hz
+        )
+
+    def test_npz_spec_mismatch_is_a_miss(self, tmp_path, result):
+        cache = ResultCache(str(tmp_path), fmt="npz")
+        other = SPEC.replace(seed=123)
+        cache.put(other, result)
+        cache.path_for(other).rename(cache.path_for(SPEC))
+        assert cache.get(SPEC) is None
+
+    def test_formats_do_not_collide(self, tmp_path, result):
+        json_cache = ResultCache(str(tmp_path), fmt="json")
+        npz_cache = ResultCache(str(tmp_path), fmt="npz")
+        json_cache.put(SPEC, result)
+        assert npz_cache.get(SPEC) is None

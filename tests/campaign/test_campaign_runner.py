@@ -1,0 +1,203 @@
+"""CampaignRunner: grids, caching, fan-out, and experiment parity.
+
+Covers the acceptance contract of the campaign API:
+
+* a >= 12-spec grid runs through ``run_campaign``;
+* a second invocation against the same cache directory performs zero
+  simulator runs (``runs_executed == 0``, all served as cache hits);
+* ``jobs=4`` produces byte-identical per-spec results to ``jobs=1``.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, CampaignRunner, RunSpec
+from repro.errors import ConfigurationError, ExperimentError
+from repro.sim.results_io import run_result_to_dict
+
+
+def tiny_grid() -> Campaign:
+    """12 cheap specs: 2 workloads x 3 policies x 2 budgets, 4 cores."""
+    return Campaign.grid(
+        "tiny",
+        workloads=("ILP1", "MEM1"),
+        policies=("fastcap", "cpu-only", "eql-freq"),
+        budgets=(0.5, 0.7),
+        n_cores=4,
+        instruction_quota=None,
+        max_epochs=3,
+        record_decision_time=False,
+    )
+
+
+def canonical_bytes(result) -> bytes:
+    return json.dumps(
+        run_result_to_dict(result), sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+class TestCampaignGrid:
+    def test_grid_is_cross_product(self):
+        grid = tiny_grid()
+        assert len(grid) == 12
+        assert len({spec.spec_hash() for spec in grid}) == 12
+
+    def test_grid_json_round_trip(self):
+        grid = tiny_grid()
+        restored = Campaign.from_json(grid.to_json())
+        assert restored.name == grid.name
+        assert restored.specs == grid.specs
+
+    def test_campaign_rejects_non_specs(self):
+        with pytest.raises(ConfigurationError):
+            Campaign("bad", [{"workload": "MIX1"}])
+
+    def test_campaign_from_dict_requires_specs(self):
+        with pytest.raises(ConfigurationError):
+            Campaign.from_dict({"name": "x"})
+
+
+class TestAcceptance:
+    """The cold/warm/parallel contract, on one shared grid."""
+
+    @pytest.fixture(scope="class")
+    def cache_dir(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("campaign-cache"))
+
+    @pytest.fixture(scope="class")
+    def cold(self, cache_dir):
+        runner = CampaignRunner(jobs=1, cache_dir=cache_dir)
+        results = runner.run_campaign(tiny_grid(), include_baselines=True)
+        return runner, results
+
+    def test_cold_run_simulates_everything(self, cold):
+        runner, results = cold
+        # 12 specs + 2 deduplicated baselines (one per workload/config).
+        assert results.runs_executed == 14
+        assert results.cache_hits == 0
+        assert len(results) == 14
+
+    def test_baselines_resolve(self, cold):
+        _, results = cold
+        for spec in tiny_grid():
+            run, base = results.pair(spec)
+            assert run.policy_name != "max-freq" or spec.policy == "max-freq"
+            assert base.policy_name == "max-freq"
+
+    def test_warm_cache_performs_zero_simulator_runs(self, cold, cache_dir):
+        fresh = CampaignRunner(jobs=1, cache_dir=cache_dir)
+        results = fresh.run_campaign(tiny_grid(), include_baselines=True)
+        assert fresh.runs_executed == 0
+        assert results.runs_executed == 0
+        assert results.cache_hits == 14
+        assert fresh.cache_hits == 14
+
+    def test_jobs4_byte_identical_to_jobs1(self, cold):
+        _, serial = cold
+        parallel_runner = CampaignRunner(jobs=4)  # no cache: all misses
+        parallel = parallel_runner.run_campaign(
+            tiny_grid(), include_baselines=True
+        )
+        assert parallel.runs_executed == 14
+        for spec in tiny_grid():
+            assert canonical_bytes(parallel[spec]) == canonical_bytes(
+                serial[spec]
+            )
+            assert canonical_bytes(parallel.baseline(spec)) == canonical_bytes(
+                serial.baseline(spec)
+            )
+
+
+class TestRunnerSemantics:
+    def test_memo_returns_same_object(self):
+        runner = CampaignRunner()
+        spec = tiny_grid().specs[0]
+        assert runner.run(spec) is runner.run(spec)
+        assert runner.memo_hits == 1
+        assert runner.runs_executed == 1
+
+    def test_baseline_identity_preserved(self):
+        runner = CampaignRunner()
+        spec = tiny_grid().specs[0]
+        assert runner.baseline(spec) is runner.baseline(spec)
+
+    def test_run_with_baseline_pair(self):
+        runner = CampaignRunner()
+        run, base = runner.run_with_baseline(tiny_grid().specs[0])
+        assert base.policy_name == "max-freq"
+        assert run.budget_fraction == 0.5
+
+    def test_quick_scaling_applies_before_hashing(self, tmp_path):
+        # quick and full runs of the same declared spec must not share
+        # cache entries.
+        spec = RunSpec(
+            workload="ILP1",
+            policy="fastcap",
+            budget_fraction=0.6,
+            n_cores=4,
+            instruction_quota=None,
+            max_epochs=50,
+            record_decision_time=False,
+        )
+        quick = CampaignRunner(quick=True, quick_factor=5.0,
+                               cache_dir=str(tmp_path))
+        quick.run(spec)
+        full = CampaignRunner(quick=False, cache_dir=str(tmp_path))
+        assert full.cache is not None
+        assert full.cache.get(spec) is None  # full-size spec not cached
+        assert full.cache.get(quick.scaled(spec)) is not None
+
+    def test_quick_scaling_never_inflates_declared_work(self):
+        # The floors (10 epochs, 5M instructions) must not rewrite a
+        # spec that explicitly asks for less.
+        runner = CampaignRunner(quick=True, quick_factor=5.0)
+        tiny_epochs = RunSpec(
+            workload="ILP1",
+            policy="fastcap",
+            budget_fraction=0.6,
+            instruction_quota=None,
+            max_epochs=3,
+        )
+        assert runner.scaled(tiny_epochs).max_epochs == 3
+        tiny_quota = tiny_epochs.replace(
+            instruction_quota=1e6, max_epochs=None
+        )
+        assert runner.scaled(tiny_quota).instruction_quota == 1e6
+
+    def test_quick_scaling_still_floors_large_specs(self):
+        runner = CampaignRunner(quick=True, quick_factor=100.0)
+        spec = RunSpec(
+            workload="ILP1",
+            policy="fastcap",
+            budget_fraction=0.6,
+            instruction_quota=None,
+            max_epochs=50,
+        )
+        assert runner.scaled(spec).max_epochs == 10
+
+    def test_missing_result_raises(self):
+        runner = CampaignRunner()
+        grid = tiny_grid()
+        results = runner.run_campaign(Campaign("one", grid.specs[:1]))
+        with pytest.raises(ExperimentError):
+            results[grid.specs[1]]
+
+    def test_spec_search_field_matches_parameterized_name(self):
+        # RunSpec(search=...) and the parameterized policy name resolve
+        # to the same policy and the same simulated decisions.
+        base = tiny_grid().specs[0]
+        via_field = base.replace(search="exhaustive")
+        via_name = base.replace(policy="fastcap:search=exhaustive")
+        runner = CampaignRunner()
+        a = runner.run(via_field)
+        b = runner.run(via_name)
+        assert a.policy_name == b.policy_name == "fastcap:search=exhaustive"
+        assert canonical_bytes(a) == canonical_bytes(b)
+
+    def test_noise_override_changes_run(self):
+        base = tiny_grid().specs[0]
+        runner = CampaignRunner()
+        noisy = runner.run(base.replace(counter_noise=0.2, power_noise=0.2))
+        clean = runner.run(base.replace(counter_noise=0.0, power_noise=0.0))
+        assert canonical_bytes(noisy) != canonical_bytes(clean)

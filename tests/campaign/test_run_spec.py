@@ -1,0 +1,135 @@
+"""RunSpec serialization, hashing, and derived specs."""
+
+import json
+
+import pytest
+
+from repro.campaign import RunSpec
+from repro.errors import ConfigurationError
+
+
+def make_spec(**overrides):
+    base = dict(workload="MIX1", policy="fastcap", budget_fraction=0.6)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_identity(self):
+        spec = make_spec(
+            n_cores=64,
+            ooo=True,
+            search="exhaustive",
+            counter_noise=0.05,
+            instruction_quota=None,
+            max_epochs=40,
+        )
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_dict_round_trip_identity(self):
+        spec = make_spec(engine="eventsim", record_decision_time=False)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_has_every_field(self):
+        data = make_spec().to_dict()
+        for field in ("workload", "policy", "engine", "search", "memory_mode",
+                      "counter_noise", "power_noise", "record_decision_time"):
+            assert field in data
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = make_spec().to_json()
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert ": " not in text
+
+    def test_from_dict_applies_defaults(self):
+        spec = RunSpec.from_dict(
+            {"workload": "MIX1", "policy": "fastcap", "budget_fraction": 0.6}
+        )
+        assert spec == make_spec()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown spec fields"):
+            RunSpec.from_dict(
+                {
+                    "workload": "MIX1",
+                    "policy": "fastcap",
+                    "budget_fraction": 0.6,
+                    "bananas": 3,
+                }
+            )
+
+    def test_from_dict_rejects_missing_required(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            RunSpec.from_dict({"workload": "MIX1"})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec.from_dict(["MIX1"])
+
+
+class TestHash:
+    def test_hash_is_stable_across_processes(self):
+        # Pinned value: the cache key scheme must not drift silently.
+        # If this changes intentionally, old caches are invalidated —
+        # update the pin and say so in the commit.
+        assert make_spec().spec_hash() == "48f7176e0084028a"
+
+    def test_hash_ignores_construction_order(self):
+        a = RunSpec(workload="MIX1", policy="fastcap", budget_fraction=0.6)
+        b = RunSpec(budget_fraction=0.6, policy="fastcap", workload="MIX1")
+        assert a.spec_hash() == b.spec_hash()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workload": "MIX2"},
+            {"policy": "cpu-only"},
+            {"budget_fraction": 0.7},
+            {"n_cores": 32},
+            {"seed": 2},
+            {"engine": "eventsim"},
+            {"search": "exhaustive"},
+            {"memory_mode": "max"},
+            {"counter_noise": 0.0},
+            {"record_decision_time": False},
+        ],
+    )
+    def test_every_field_participates(self, change):
+        assert make_spec(**change).spec_hash() != make_spec().spec_hash()
+
+
+class TestValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            make_spec(engine="cycle-accurate")
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(workload="")
+
+
+class TestBaselineSpec:
+    def test_baseline_is_uncapped_max_freq(self):
+        base = make_spec(search="exhaustive", memory_mode="max").baseline_spec()
+        assert base.policy == "max-freq"
+        assert base.budget_fraction == 1.0
+        assert base.search is None
+        assert base.memory_mode is None
+
+    def test_baseline_shared_across_policies(self):
+        a = make_spec(policy="fastcap").baseline_spec()
+        b = make_spec(policy="eql-freq").baseline_spec()
+        c = make_spec(policy="eql-pwr").baseline_spec()
+        assert a.spec_hash() == b.spec_hash() == c.spec_hash()
+
+    def test_baseline_keeps_noise_and_engine(self):
+        base = make_spec(counter_noise=0.05, engine="eventsim").baseline_spec()
+        assert base.counter_noise == 0.05
+        assert base.engine == "eventsim"
+
+    def test_replace_returns_updated_copy(self):
+        spec = make_spec()
+        other = spec.replace(seed=9)
+        assert other.seed == 9
+        assert spec.seed == 1

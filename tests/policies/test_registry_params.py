@@ -1,0 +1,87 @@
+"""Parameterized policy names: parsing, formatting, and errors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies.registry import (
+    canonical_policy_name,
+    format_policy_name,
+    make_policy,
+    parse_policy_name,
+)
+
+
+class TestParsing:
+    def test_bare_name(self):
+        assert parse_policy_name("fastcap") == ("fastcap", {})
+
+    def test_single_parameter(self):
+        base, params = parse_policy_name("fastcap:search=exhaustive")
+        assert base == "fastcap"
+        assert params == {"search": "exhaustive"}
+
+    def test_value_coercion(self):
+        _, params = parse_policy_name("fastcap:repair=false")
+        assert params == {"repair": False}
+        _, params = parse_policy_name("x:a=3,b=0.5,c=true,d=text")
+        assert params == {"a": 3, "b": 0.5, "c": True, "d": "text"}
+
+    def test_canonical_name_sorts_parameters(self):
+        assert (
+            canonical_policy_name("fastcap:search=binary,repair=false")
+            == "fastcap:repair=false,search=binary"
+        )
+
+    def test_format_round_trip(self):
+        name = "fastcap:memory_mode=max,search=exhaustive"
+        assert format_policy_name(*parse_policy_name(name)) == name
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "fastcap:",
+            "fastcap:search",
+            "fastcap:search=",
+            "fastcap:=exhaustive",
+            "fastcap:search=binary,search=exhaustive",
+            ":search=binary",
+        ],
+    )
+    def test_malformed_names_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_policy_name(bad)
+
+
+class TestMakePolicy:
+    def test_plain_names_still_work(self):
+        assert make_policy("fastcap").name == "fastcap"
+        assert make_policy("max-freq").name == "max-freq"
+
+    def test_parameterized_fastcap(self):
+        policy = make_policy("fastcap:search=exhaustive")
+        assert policy._search == "exhaustive"
+        assert policy.name == "fastcap:search=exhaustive"
+
+    def test_repair_toggle(self):
+        assert make_policy("fastcap:repair=false").repair is False
+        assert make_policy("fastcap").repair is True
+
+    def test_memory_mode_parameter(self):
+        policy = make_policy("fastcap:memory_mode=max")
+        assert not policy.uses_memory_dvfs
+
+    def test_unknown_base_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            make_policy("slowcap:search=binary")
+
+    def test_unsupported_parameter_raises(self):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            make_policy("max-freq:search=binary")
+
+    def test_invalid_parameter_value_raises(self):
+        with pytest.raises(ConfigurationError, match="search"):
+            make_policy("fastcap:search=quantum")
+
+    def test_malformed_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("fastcap:search")

@@ -6,10 +6,13 @@ import pytest
 from repro.errors import ExperimentError
 from repro.metrics.power import summarize_power
 from repro.sim.results_io import (
+    load_npz_extra,
     load_run_result,
+    load_run_result_npz,
     run_result_from_dict,
     run_result_to_dict,
     save_run_result,
+    save_run_result_npz,
 )
 from repro.sim.server import MaxFrequencyPolicy, ServerSimulator
 from repro.workloads import get_workload
@@ -60,3 +63,31 @@ def test_epoch_fields_preserved(real_run):
 def test_version_gate():
     with pytest.raises(ExperimentError):
         run_result_from_dict({"format_version": 99})
+
+
+class TestNpzRoundTrip:
+    def test_npz_round_trip_is_lossless(self, tmp_path, real_run):
+        path = str(tmp_path / "run.npz")
+        save_run_result_npz(real_run, path)
+        restored = load_run_result_npz(path)
+        assert run_result_to_dict(restored) == run_result_to_dict(real_run)
+
+    def test_npz_metrics_match(self, tmp_path, real_run):
+        path = str(tmp_path / "run.npz")
+        save_run_result_npz(real_run, path)
+        restored = load_run_result_npz(path)
+        stats = summarize_power(restored)
+        assert stats.mean_w == pytest.approx(real_run.mean_power_w())
+        np.testing.assert_allclose(
+            restored.per_core_tpi_s(), real_run.per_core_tpi_s()
+        )
+
+    def test_npz_extra_blob(self, tmp_path, real_run):
+        path = str(tmp_path / "run.npz")
+        save_run_result_npz(real_run, path, extra={"spec": {"seed": 8}})
+        assert load_npz_extra(path) == {"spec": {"seed": 8}}
+
+    def test_npz_extra_defaults_to_none(self, tmp_path, real_run):
+        path = str(tmp_path / "run.npz")
+        save_run_result_npz(real_run, path)
+        assert load_npz_extra(path) is None

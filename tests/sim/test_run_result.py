@@ -79,3 +79,36 @@ class TestRunResult:
 
     def test_n_epochs(self, result):
         assert result.n_epochs == 3
+
+
+class TestEmptyRunGuards:
+    """Zero-epoch / accounting-free results degrade cleanly."""
+
+    @pytest.fixture
+    def empty(self):
+        return RunResult(
+            policy_name="p",
+            workload_name="w",
+            config_name="c",
+            budget_fraction=0.6,
+            budget_watts=65.0,
+            peak_power_w=109.3,
+            app_names=("a", "b"),
+        )
+
+    def test_max_epoch_power_empty_safe(self, empty):
+        assert empty.max_epoch_power_w() == 0.0
+
+    def test_mean_power_empty_safe(self, empty):
+        assert empty.mean_power_w() == 0.0
+
+    def test_tpi_without_instructions_raises_clearly(self, empty):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="instruction"):
+            empty.per_core_tpi_s()
+
+    def test_tpi_on_zero_epoch_run_with_accounting(self, empty):
+        empty.instructions = np.zeros(2)
+        tpi = empty.per_core_tpi_s()
+        assert list(tpi) == [0.0, 0.0]

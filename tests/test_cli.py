@@ -1,8 +1,10 @@
-"""CLI entry point."""
+"""CLI entry point: parsing, mode resolution, and main paths."""
+
+import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, resolve_mode
 
 
 class TestParser:
@@ -24,6 +26,54 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_mode_and_full_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--mode", "quick", "--full"])
+
+    def test_quick_and_full_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--quick", "--full"])
+
+    def test_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig3", "--jobs", "4", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.policies == "fastcap"
+        assert args.seed == 1
+        # Off by default: sweep results stay bit-reproducible.
+        assert not args.decision_times
+
+    def test_batch_takes_file(self):
+        args = build_parser().parse_args(["batch", "campaign.json"])
+        assert args.campaign_file == "campaign.json"
+
+
+class TestResolveMode:
+    def test_default_is_quick(self):
+        assert resolve_mode(build_parser().parse_args(["run", "fig3"])) == "quick"
+
+    def test_explicit_quick_flag(self):
+        args = build_parser().parse_args(["run", "fig3", "--quick"])
+        assert resolve_mode(args) == "quick"
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["run", "fig3", "--full"])
+        assert resolve_mode(args) == "full"
+
+    def test_mode_quick(self):
+        args = build_parser().parse_args(["run", "fig3", "--mode", "quick"])
+        assert resolve_mode(args) == "quick"
+
+    def test_mode_full(self):
+        args = build_parser().parse_args(["run", "fig3", "--mode", "full"])
+        assert resolve_mode(args) == "full"
+
 
 class TestMain:
     def test_list_prints_experiments(self, capsys):
@@ -37,3 +87,42 @@ class TestMain:
         out = capsys.readouterr().out
         assert "MEM1" in out
         assert "paper MPKI" in out
+
+    def test_sweep_runs_and_caches(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--workloads", "ILP1",
+            "--policies", "fastcap",
+            "--budgets", "0.6",
+            "--cores", "4",
+            "--max-epochs", "3",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 specs" in out
+        assert "1 simulated, 0 from cache" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 1 from cache" in out
+
+    def test_batch_runs_campaign_file(self, capsys, tmp_path):
+        campaign = {
+            "name": "smoke",
+            "specs": [
+                {
+                    "workload": "ILP1",
+                    "policy": "fastcap",
+                    "budget_fraction": 0.6,
+                    "n_cores": 4,
+                    "instruction_quota": None,
+                    "max_epochs": 3,
+                }
+            ],
+        }
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(campaign))
+        assert main(["batch", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke" in out
+        assert "ILP1" in out

@@ -6,6 +6,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.campaign",
     "repro.core",
     "repro.sim",
     "repro.queueing",
