@@ -1,0 +1,154 @@
+"""Capture the PR2 golden-parity fixture and pre-refactor timings.
+
+Run from the repository root::
+
+    PYTHONPATH=src:. python benchmarks/capture_pr2_baseline.py [--fixture-only]
+
+Two artefacts:
+
+* ``tests/data/golden_parity_pr2.json`` — content hash of every run on
+  the golden grid (see :mod:`tests.golden_grid`).  Generated once on
+  the pre-refactor tree; the parity test suite re-runs the grid on the
+  current tree and requires byte-identical hashes.
+* ``benchmarks/data/pr2_baseline.json`` — wall-clock medians of the
+  pre-refactor hot paths (full quick-mode fig9 campaign, solve_mva,
+  one scalar degradation solve, one operating-point epoch), used by
+  ``benchmarks/run_pr2_bench.py`` as the "before" side of
+  ``BENCH_PR2.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import statistics
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=ROOT, capture_output=True,
+            text=True, check=True,
+        ).stdout.strip()
+    except Exception:  # pragma: no cover - metadata only
+        return "unknown"
+
+
+def capture_fixture() -> None:
+    from tests.golden_grid import run_grid
+
+    t0 = time.perf_counter()
+    hashes = run_grid()
+    out = ROOT / "tests" / "data" / "golden_parity_pr2.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(hashes, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(hashes)} runs, {time.perf_counter()-t0:.1f}s)")
+
+
+def _median_time(fn, reps: int, inner: int = 1) -> float:
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        times.append((time.perf_counter() - t0) / inner)
+    return statistics.median(times)
+
+
+def capture_timings() -> None:
+    from repro.campaign import CampaignRunner
+    from repro.campaign.runner import execute_spec
+    from repro.experiments import fig9
+    from tests.conftest import make_network
+    from tests.core.conftest import make_inputs
+    from repro.queueing.mva import solve_mva
+    from repro.core.optimizer import solve_degradation
+    from repro.core.algorithm import exhaustive_sb
+    from repro.units import NS
+
+    timings = {}
+
+    camp = fig9.campaign()
+    timings["fig9_quick_campaign_s"] = _median_time(
+        lambda: CampaignRunner(quick=True).run_campaign(
+            camp, include_baselines=True
+        ),
+        reps=3,
+    )
+
+    for n, b in ((16, 32), (64, 32)):
+        net = make_network(n_classes=n, n_banks=b, think_ns=20)
+        timings[f"solve_mva_n{n}_b{b}_s"] = _median_time(
+            lambda net=net: solve_mva(net, tolerance=1e-8), reps=5, inner=50
+        )
+
+    rng = np.random.default_rng(7)
+    inputs = make_inputs(
+        n_cores=16,
+        z_min_ns=tuple(rng.uniform(10.0, 800.0, size=16)),
+        budget_w=64.0,
+        static_w=16.0,
+    )
+    timings["solve_degradation_s"] = _median_time(
+        lambda: solve_degradation(inputs, 2 * NS), reps=5, inner=50
+    )
+    timings["exhaustive_sb_s"] = _median_time(
+        lambda: exhaustive_sb(inputs), reps=5, inner=20
+    )
+
+    from repro.campaign import RunSpec
+
+    spec = RunSpec(
+        workload="MIX1", policy="fastcap", budget_fraction=0.6,
+        max_epochs=4, instruction_quota=None, record_decision_time=False,
+    )
+    timings["fastcap_mix1_4epochs_s"] = _median_time(
+        lambda: execute_spec(spec), reps=5
+    )
+    spec64 = RunSpec(
+        workload="MEM1", policy="fastcap", budget_fraction=0.6, n_cores=64,
+        max_epochs=2, instruction_quota=None, record_decision_time=False,
+    )
+    timings["fastcap_mem1_64core_2epochs_s"] = _median_time(
+        lambda: execute_spec(spec64), reps=5
+    )
+
+    out = ROOT / "benchmarks" / "data" / "pr2_baseline.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(
+            {
+                "captured_at_commit": _git_head(),
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "timings": timings,
+            },
+            indent=1,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"wrote {out}")
+    for k, v in sorted(timings.items()):
+        print(f"  {k}: {v*1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fixture-only", action="store_true")
+    parser.add_argument("--timings-only", action="store_true")
+    args = parser.parse_args()
+    sys.path.insert(0, str(ROOT))
+    if not args.timings_only:
+        capture_fixture()
+    if not args.fixture_only:
+        capture_timings()

@@ -9,10 +9,11 @@ import numpy as np
 import pytest
 
 from repro.core.algorithm import binary_search_sb, exhaustive_sb
-from repro.core.optimizer import solve_degradation
-from repro.queueing.mva import solve_mva
+from repro.core.optimizer import solve_degradation, solve_degradation_batch
+from repro.queueing.mva import MVASolver, solve_mva
 from repro.units import NS
 
+from benchmarks.seed_reference import seed_solve_degradation, seed_solve_mva
 from tests.conftest import make_network
 from tests.core.conftest import make_inputs
 
@@ -53,3 +54,59 @@ def test_bench_mva_solve(benchmark, n_classes):
     net = make_network(n_classes=n_classes, n_banks=32, think_ns=20)
     sol = benchmark(lambda: solve_mva(net))
     assert sol.iterations >= 1
+
+
+@pytest.mark.parametrize("n_classes", [16, 64])
+def test_bench_mva_arrays_reused(benchmark, n_classes):
+    """The PR2 fast path: preallocated kernel on compiled arrays.
+
+    Compare against ``test_bench_mva_seed_rebuild`` — the delta is what
+    :class:`NetworkArrays` buys per solve.
+    """
+    net = make_network(n_classes=n_classes, n_banks=32, think_ns=20)
+    solver = MVASolver(net.to_arrays())
+    sol = benchmark(lambda: solver.solve(tolerance=1e-8))
+    assert sol.iterations >= 1
+
+
+@pytest.mark.parametrize("n_classes", [16, 64])
+def test_bench_mva_seed_rebuild(benchmark, n_classes):
+    """The pre-PR2 path: spec-walking solver, arrays rebuilt per call."""
+    net = make_network(n_classes=n_classes, n_banks=32, think_ns=20)
+    sol = benchmark(lambda: seed_solve_mva(net, tolerance=1e-8))
+    assert sol.iterations >= 1
+
+
+def test_bench_degradation_batch_all_candidates(benchmark):
+    """All M candidates bisected in one batched kernel call."""
+    inputs = _inputs_for(16)
+    batch = benchmark(lambda: solve_degradation_batch(inputs))
+    assert batch.n_candidates == inputs.n_candidates
+
+
+def test_bench_degradation_seed_scalar_scan(benchmark):
+    """The pre-PR2 exhaustive cost: M sequential scalar bisections."""
+    inputs = _inputs_for(16)
+
+    def scan():
+        return [
+            seed_solve_degradation(inputs, float(s))
+            for s in inputs.sb_candidates
+        ]
+
+    sols = benchmark(scan)
+    assert len(sols) == inputs.n_candidates
+
+
+def test_bench_operating_point_epoch(benchmark):
+    """One full ground-truth operating-point solve (2x per epoch)."""
+    from repro.sim.config import table2_config
+    from repro.sim.server import FrequencySettings, ServerSimulator
+    from repro.workloads import get_workload
+
+    config = table2_config(16)
+    sim = ServerSimulator(config, get_workload("MIX1"), seed=1)
+    settings = FrequencySettings.all_max(config)
+    zeros = np.zeros(16)
+    op = benchmark(lambda: sim.solve_operating_point(settings, zeros))
+    assert op.total_power_w > 0

@@ -20,9 +20,11 @@ from repro.core.algorithm import FastCapDecision, binary_search_sb, exhaustive_s
 from repro.core.governor import FastCapGovernor
 from repro.core.model import FastCapInputs
 from repro.core.optimizer import (
+    BatchDegradationSolution,
     DegradationSolution,
     ProcessorGroups,
     solve_degradation,
+    solve_degradation_batch,
     solve_degradation_grouped,
 )
 from repro.core.power_fit import FittedPowerModel, OnlinePowerFitter
@@ -30,6 +32,7 @@ from repro.core.reference_solver import continuous_relaxation, solve_nlp
 from repro.core.response_time import ResponseModel
 
 __all__ = [
+    "BatchDegradationSolution",
     "DegradationSolution",
     "FastCapDecision",
     "FastCapGovernor",
@@ -42,6 +45,7 @@ __all__ = [
     "continuous_relaxation",
     "exhaustive_sb",
     "solve_degradation",
+    "solve_degradation_batch",
     "solve_degradation_grouped",
     "solve_nlp",
 ]

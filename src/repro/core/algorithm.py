@@ -21,7 +21,11 @@ from typing import Callable
 import numpy as np
 
 from repro.core.model import FastCapInputs
-from repro.core.optimizer import DegradationSolution, solve_degradation
+from repro.core.optimizer import (
+    DegradationSolution,
+    solve_degradation,
+    solve_degradation_batch,
+)
 
 #: Signature of the per-candidate inner solve.  The default is the
 #: global-budget Theorem 1 solve; the per-processor-budget extension
@@ -71,14 +75,27 @@ def _better(a: DegradationSolution, b: DegradationSolution, sb_a: float, sb_b: f
 def exhaustive_sb(
     inputs: FastCapInputs, inner: InnerSolve = solve_degradation
 ) -> FastCapDecision:
-    """Evaluate every memory-frequency candidate (the oracle path)."""
+    """Evaluate every memory-frequency candidate (the oracle path).
+
+    With the default inner solve, all M candidates are bisected in one
+    batched kernel call (:func:`solve_degradation_batch`) — the scan
+    costs roughly one scalar solve of wall-clock while returning the
+    same per-candidate solutions.  A custom ``inner`` (e.g. the
+    per-processor-budget variant) falls back to per-candidate calls.
+    """
+    if inner is solve_degradation:
+        batch = solve_degradation_batch(inputs)
+        solutions = [batch.solution(i) for i in range(inputs.n_candidates)]
+    else:
+        solutions = [
+            inner(inputs, float(inputs.sb_candidates[idx]))
+            for idx in range(inputs.n_candidates)
+        ]
     best_idx = 0
-    best = inner(inputs, float(inputs.sb_candidates[0]))
-    evaluations = 1
+    best = solutions[0]
     for idx in range(1, inputs.n_candidates):
+        sol = solutions[idx]
         s_b = float(inputs.sb_candidates[idx])
-        sol = inner(inputs, s_b)
-        evaluations += 1
         if _better(sol, best, s_b, float(inputs.sb_candidates[best_idx])):
             best, best_idx = sol, idx
     return FastCapDecision(
@@ -88,7 +105,7 @@ def exhaustive_sb(
         z=best.z,
         predicted_power_w=best.power_w,
         feasible=best.feasible,
-        evaluations=evaluations,
+        evaluations=inputs.n_candidates,
     )
 
 

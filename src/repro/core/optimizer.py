@@ -24,6 +24,7 @@ the root solve).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -73,8 +74,129 @@ def _achieved_d(
     return float(np.min(t_bar / (z + inputs.cache + r)))
 
 
+@dataclass(frozen=True)
+class BatchDegradationSolution:
+    """Per-candidate Theorem-1 solutions, batched over memory frequencies.
+
+    Row ``m`` holds exactly what :func:`solve_degradation` would return
+    for ``sb_candidates[m]`` — the batch kernel runs every candidate's
+    bisection in lock-step (array ``lo``/``hi``, one ``(M, N)`` power
+    evaluation per step), so an exhaustive scan over M candidates costs
+    the wall-clock of roughly one scalar solve.
+    """
+
+    #: Candidate bus transfer times, seconds (M,).
+    sb: np.ndarray
+    #: Achieved objective D per candidate (M,).
+    d: np.ndarray
+    #: Optimal think times per candidate, seconds (M, N).
+    z: np.ndarray
+    #: Predicted full-system power per candidate, watts (M,).
+    power_w: np.ndarray
+    #: Feasibility per candidate (M,).
+    feasible: np.ndarray
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.sb.size)
+
+    def solution(self, index: int) -> DegradationSolution:
+        """The scalar :class:`DegradationSolution` for one candidate."""
+        return DegradationSolution(
+            d=float(self.d[index]),
+            z=self.z[index].copy(),
+            power_w=float(self.power_w[index]),
+            feasible=bool(self.feasible[index]),
+        )
+
+
+def solve_degradation_batch(
+    inputs: FastCapInputs,
+    sb_candidates: Optional[np.ndarray] = None,
+) -> BatchDegradationSolution:
+    """Solve line 6 of Algorithm 1 for *all* memory candidates at once.
+
+    ``sb_candidates`` defaults to ``inputs.sb_candidates``.  Each
+    candidate's root solve follows the identical bisection trajectory
+    the scalar solver takes (per-lane ``lo``/``hi`` with a per-lane
+    convergence freeze), so every row of the result is bit-identical to
+    the corresponding scalar solve — the batching changes wall-clock
+    complexity from M bisections to one, not the numbers.
+    """
+    sb = (
+        inputs.sb_candidates
+        if sb_candidates is None
+        else np.asarray(sb_candidates, dtype=float)
+    )
+    m = int(sb.size)
+    r = inputs.response.per_core_batch(sb)  # (M, N)
+    t_bar = inputs.best_turnaround_s()  # (N,)
+    mem_power = np.array(
+        [inputs.memory_dynamic_power_w(float(s)) for s in sb]
+    )  # (M,)
+    available = inputs.budget_w - inputs.static_power_w - mem_power  # (M,)
+
+    z_min = inputs.z_min
+    z_max = inputs.z_max
+    cache = inputs.cache
+    p_max = inputs.core_p_max
+    alpha = inputs.core_alpha
+
+    def z_of_d(d: np.ndarray) -> np.ndarray:
+        """(M, N) clipped think times for per-candidate degradations."""
+        raw = t_bar / d[:, None] - cache - r
+        return np.clip(raw, z_min, z_max)
+
+    def cpu_power(d: np.ndarray) -> np.ndarray:
+        """(M,) predicted core dynamic power at per-candidate D."""
+        z = z_of_d(d)
+        ratios = z_min / np.maximum(z, 1e-300)
+        return np.sum(p_max * ratios**alpha, axis=1)
+
+    # Degradation floor: even at D -> 0 think times clip at z_max, so
+    # the meaningful lower end is where every core sits at its floor.
+    t_floor = (z_max + cache) + r  # (M, N)
+    d_floor = np.min(t_bar / t_floor, axis=1)
+    d_floor = np.minimum(np.maximum(d_floor, 1e-9), 1.0)
+
+    ones = np.ones(m)
+    infeasible = cpu_power(d_floor) > available  # pin the floor
+    slack = cpu_power(ones) <= available  # no degradation needed
+
+    lo = d_floor.copy()
+    hi = np.ones(m)
+    active = ~(infeasible | slack)
+    for _ in range(_MAX_BISECTIONS):
+        if not active.any():
+            break
+        mid = 0.5 * (lo + hi)
+        over = cpu_power(mid) > available
+        np.copyto(hi, mid, where=active & over)
+        np.copyto(lo, mid, where=active & ~over)
+        active &= ~((hi - lo) <= _D_TOL * hi)
+
+    d_instrument = np.where(infeasible, d_floor, np.where(slack, 1.0, lo))
+    z = z_of_d(d_instrument)
+    achieved = np.min(t_bar / (z + cache + r), axis=1)
+    power = cpu_power(d_instrument) + mem_power + inputs.static_power_w
+    return BatchDegradationSolution(
+        sb=sb,
+        d=achieved,
+        z=z,
+        power_w=power,
+        feasible=~infeasible,
+    )
+
+
 def solve_degradation(inputs: FastCapInputs, s_b: float) -> DegradationSolution:
-    """Solve line 6 of Algorithm 1: optimal D for one s_b candidate."""
+    """Solve line 6 of Algorithm 1: optimal D for one s_b candidate.
+
+    The scalar twin of :func:`solve_degradation_batch` (same math,
+    bit-identical result for the matching candidate).  It stays a
+    dedicated scalar path because the adaptive probes of
+    ``binary_search_sb`` evaluate one candidate at a time, where the
+    batch kernel's lane bookkeeping would only add overhead.
+    """
     r = inputs.response.per_core(s_b)
     t_bar = inputs.best_turnaround_s()
     mem_power = inputs.memory_dynamic_power_w(s_b)

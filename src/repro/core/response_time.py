@@ -60,6 +60,23 @@ class ResponseModel:
         """Visit-weighted R_i(s_b) for every core."""
         return self.visits @ self.per_controller(bus_transfer_s)
 
+    def per_core_batch(self, bus_transfer_s: np.ndarray) -> np.ndarray:
+        """R_i(s_b) for every (candidate, core) pair: shape (M, n_cores).
+
+        Row ``m`` is exactly ``per_core(bus_transfer_s[m])`` — the
+        candidates are evaluated through the same matrix-vector product
+        (rather than one fused matrix-matrix product) so each row is
+        bit-identical to the scalar path; M is small (the memory DVFS
+        ladder), so this costs nothing measurable.
+        """
+        sb = np.asarray(bus_transfer_s, dtype=float)
+        if sb.ndim != 1:
+            raise ModelError("bus transfer candidates must be one-dimensional")
+        out = np.empty((sb.size, self.visits.shape[0]))
+        for m in range(sb.size):
+            out[m] = self.visits @ self.per_controller(float(sb[m]))
+        return out
+
     def sensitivity_per_core(self) -> np.ndarray:
         """dR_i/ds_b — constant because the model is affine in s_b."""
         return self.visits @ (self.q * self.u)

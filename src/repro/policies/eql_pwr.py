@@ -40,28 +40,38 @@ class EqlPwrPolicy(ModelDrivenPolicy):
         )
         t_bar = inputs.best_turnaround_s()
 
-        best_d = -np.inf
-        best_z = inputs.z_max
-        best_idx = 0
-        for idx in range(inputs.n_candidates):
-            s_b = float(inputs.sb_candidates[idx])
-            mem_power = inputs.memory_dynamic_power_w(s_b)
-            share = (
-                inputs.budget_w - inputs.static_power_w - mem_power
-            ) / n
+        # Per-core predicted dynamic power at every ladder level is
+        # candidate-independent: compute the (n_cores, levels) table
+        # once instead of per (candidate, core) pair.
+        p_levels = (
+            inputs.core_p_max[:, None]
+            * ratios_ladder[None, :] ** inputs.core_alpha[:, None]
+        )
 
-            # Highest ladder level whose predicted dynamic power fits
-            # the per-core share, independently per core.
-            z = np.empty(n)
-            for i in range(n):
-                p_levels = inputs.core_p_max[i] * ratios_ladder ** inputs.core_alpha[i]
-                feasible = np.nonzero(p_levels <= share)[0]
-                level = int(feasible[-1]) if feasible.size else 0
-                z[i] = inputs.z_min[i] / ratios_ladder[level]
+        mem_power = np.array(
+            [
+                inputs.memory_dynamic_power_w(float(s))
+                for s in inputs.sb_candidates
+            ]
+        )
+        share = (inputs.budget_w - inputs.static_power_w - mem_power) / n
 
-            r = inputs.response.per_core(s_b)
-            d = float(np.min(t_bar / (z + inputs.cache + r)))
-            if d > best_d:
-                best_d, best_z, best_idx = d, z, idx
+        # Highest ladder level whose predicted dynamic power fits the
+        # per-core share, independently per core and candidate: the
+        # last feasible level along the ladder axis (level 0 when even
+        # the floor exceeds the share).
+        fits = p_levels[None, :, :] <= share[:, None, None]  # (M, n, L)
+        n_levels = ratios_ladder.size
+        level = np.where(
+            fits.any(axis=2),
+            n_levels - 1 - np.argmax(fits[:, :, ::-1], axis=2),
+            0,
+        )
+        z = inputs.z_min / ratios_ladder[level]  # (M, n)
 
-        return self.settings_from_z(inputs, best_z, best_idx)
+        r = inputs.response.per_core_batch(inputs.sb_candidates)  # (M, n)
+        d = np.min(t_bar / (z + inputs.cache + r), axis=1)
+        # First index of the maximum D, matching the strict ">" scan
+        # of the per-candidate loop this replaces.
+        best_idx = int(np.argmax(d))
+        return self.settings_from_z(inputs, z[best_idx], best_idx)

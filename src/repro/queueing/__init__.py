@@ -15,13 +15,14 @@ Two solvers are provided:
   same network, used to validate the AMVA approximation.
 """
 
+from repro.queueing.arrays import NetworkArrays
 from repro.queueing.network import (
     BackgroundFlow,
     ControllerSpec,
     JobClassSpec,
     QueueingNetwork,
 )
-from repro.queueing.mva import MVASolution, solve_mva
+from repro.queueing.mva import MVASolution, MVASolver, solve_mva
 from repro.queueing.eventsim import EventSimResult, simulate_network
 
 __all__ = [
@@ -30,6 +31,8 @@ __all__ = [
     "EventSimResult",
     "JobClassSpec",
     "MVASolution",
+    "MVASolver",
+    "NetworkArrays",
     "QueueingNetwork",
     "simulate_network",
     "solve_mva",

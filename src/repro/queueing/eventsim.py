@@ -25,6 +25,7 @@ from typing import Deque, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.queueing.arrays import NetworkArrays
 from repro.queueing.network import QueueingNetwork
 
 _ARRIVAL = 0
@@ -91,13 +92,16 @@ class EventSimResult:
 
 
 def simulate_network(
-    network: QueueingNetwork,
+    network,
     horizon_s: float,
     warmup_s: float = 0.0,
     seed: int = 0,
 ) -> EventSimResult:
     """Run the network for ``horizon_s`` simulated seconds.
 
+    ``network`` is a :class:`QueueingNetwork` or its compiled
+    :class:`NetworkArrays` form (the simulator only ever consumes the
+    array view, so the server's fast path hands arrays in directly).
     Statistics are collected after ``warmup_s``.  Think times are
     exponential with the class means; bank services are exponential
     around the bank mean (capturing row hit/miss variability); bus
@@ -108,15 +112,21 @@ def simulate_network(
     if not 0.0 <= warmup_s < horizon_s:
         raise ConfigurationError("warmup must be shorter than the horizon")
 
+    arrays = (
+        network
+        if isinstance(network, NetworkArrays)
+        else NetworkArrays.from_network(network)
+    )
     rng = np.random.default_rng(seed)
-    n_classes = network.n_classes
-    routing = network.routing_matrix()
-    bank_ctrl = network.bank_controller_map()
-    bank_service = network.bank_service_vector()
-    bus_transfer = network.bus_transfer_vector()
-    bg_rates = network.background_rate_vector()
-    n_banks = network.total_banks
-    n_ctrl = len(network.controllers)
+    n_classes = arrays.n_classes
+    routing = arrays.routing
+    bank_ctrl = arrays.bank_ctrl
+    bank_service = arrays.bank_service
+    bus_transfer = arrays.bus_transfer
+    bg_rates = arrays.bg_rates
+    n_banks = arrays.total_banks
+    n_ctrl = arrays.n_controllers
+    population = arrays.population
 
     banks = [
         _Bank(index=b, controller=int(bank_ctrl[b]), service_s=float(bank_service[b]))
@@ -130,9 +140,7 @@ def simulate_network(
     def push(when: float, kind: int, payload: object) -> None:
         heapq.heappush(events, (when, next(counter), kind, payload))
 
-    think_means = np.array(
-        [c.think_time_s + c.cache_time_s for c in network.classes]
-    )
+    think_means = arrays.think_s
 
     def sample_think(ci: int) -> float:
         mean = think_means[ci]
@@ -189,8 +197,8 @@ def simulate_network(
             bus.queue.append((job, bank.index))
 
     # Seed the closed classes: every job starts with a think period.
-    for ci, cls in enumerate(network.classes):
-        for _ in range(cls.population):
+    for ci in range(n_classes):
+        for _ in range(int(population[ci])):
             push(sample_think(ci), _ARRIVAL, ci)
     # Seed background flows.
     for b in range(n_banks):

@@ -17,16 +17,28 @@ The solver runs a damped fixed point over per-class throughputs:
 No closed form exists for blocking networks (Section III-A cites the
 same difficulty), so this approximation is validated against the
 discrete-event simulator in the test suite.
+
+Implementation: the fixed point runs on :class:`NetworkArrays` — the
+compiled array form of the network — through :class:`MVASolver`, which
+owns preallocated scratch buffers so one iteration performs no Python
+object construction and no array allocation.  The op-for-op float
+sequence is identical to the original spec-walking implementation
+(enforced by the golden-parity suite), so results are bit-identical;
+only the bookkeeping around the math changed.  :func:`solve_mva` keeps
+the historical signature and accepts either a
+:class:`~repro.queueing.network.QueueingNetwork` or a prebuilt
+:class:`NetworkArrays`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.queueing.arrays import NetworkArrays
 from repro.queueing.network import QueueingNetwork
 
 #: Utilisation ceiling that keeps 1/(1-rho) finite while still letting
@@ -71,8 +83,304 @@ class MVASolution:
         return float(self.throughput_per_s.sum())
 
 
+class MVASolver:
+    """Reusable AMVA fixed-point kernel bound to one :class:`NetworkArrays`.
+
+    Construct once per network structure, call :meth:`solve` after every
+    in-place :meth:`NetworkArrays.update`.  All scratch is preallocated
+    in ``__init__``; a solve allocates only the output arrays of its
+    :class:`MVASolution`.
+    """
+
+    def __init__(self, arrays: NetworkArrays) -> None:
+        self.arrays = arrays
+        n = arrays.n_classes
+        n_banks = arrays.total_banks
+        n_ctrl = arrays.n_controllers
+
+        # Static per-controller response aggregation structure: the
+        # routing slices (and their row sums) never change.  The fancy
+        # column extraction is kept in its native (Fortran-ordered)
+        # layout on purpose: the layout steers numpy's reduction order,
+        # and the row sums must reduce exactly like the original
+        # boolean-mask extraction did.
+        self._ctrl_weights = [
+            arrays.routing[:, idx] for idx in arrays.controller_bank_index
+        ]
+        self._ctrl_denom = [
+            np.maximum(w.sum(axis=1), 1e-300) for w in self._ctrl_weights
+        ]
+
+        # Scratch buffers.  The 2-D (n, 1) views let broadcast products
+        # run without per-iteration view construction.
+        self._x2 = np.empty((n, 1))
+        self._x2_flat = self._x2.reshape(n)
+        self._x = np.empty(n)
+        self._pop_col = arrays.population[:, None]
+        self._fg = np.empty(n_banks)
+        self._rates = np.empty(n_banks)
+        self._wait_bank = np.empty(n_banks)
+        self._s_eff = np.empty(n_banks)
+        self._rho_bg = np.empty(n_banks)
+        self._s_fg = np.empty(n_banks)
+        self._bank_q = np.empty(n_banks)
+        self._bt_bank = np.empty(n_banks)
+        self._q = np.empty((n, n_banks))
+        self._q_new = np.empty((n, n_banks))
+        self._queue_seen = np.empty((n, n_banks))
+        self._self_seen = np.empty((n, n_banks))
+        self._r_bank = np.empty((n, n_banks))
+        self._r_bank_alt = np.empty((n, n_banks))
+        self._r_prod = np.empty((n, n_banks))
+        self._r_mem = np.empty(n)
+        self._turnaround = np.empty(n)
+        self._x_new = np.empty(n)
+        self._dx = np.empty(n)
+        self._denom = np.empty(n)
+        self._rho = np.empty(n_ctrl)
+        self._bus_wait = np.empty(n_ctrl)
+        self._tmp_k = np.empty(n_ctrl)
+        # Structure that `update` cannot change (populations and the
+        # controller count are fixed at construction).
+        self._unit_pop = bool(np.all(arrays.population == 1.0))
+        self._scalar_bus = n_ctrl == 1
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-10,
+        damping: float = 0.5,
+        initial_throughput: Optional[np.ndarray] = None,
+    ) -> MVASolution:
+        """Run the damped fixed point to steady state.
+
+        Raises :class:`ConvergenceError` if it does not reach
+        ``tolerance`` within ``max_iterations``.
+        """
+        a = self.arrays
+        n = a.n_classes
+        n_ctrl = a.n_controllers
+        routing = a.routing
+        bank_service = a.bank_service
+        bus_transfer = a.bus_transfer
+        bank_ctrl = a.bank_ctrl
+        bg_rates = a.bg_rates
+        population = a.population
+        think = a.think_s
+        total_pop = float(population.sum())
+
+        # Per-solve invariants (depend on quantities `update` may have
+        # changed, so they cannot live in __init__).
+        bt_bank = self._bt_bank
+        np.take(bus_transfer, bank_ctrl, out=bt_bank)
+        pop_wait_cap = max(total_pop - 1.0, 0.0) * bus_transfer
+        has_bg = bool(np.any(bg_rates > 0))
+        unit_pop = self._unit_pop
+        scalar_bus = self._scalar_bus
+        bt0 = float(bus_transfer[0])
+        cap0 = float(pop_wait_cap[0])
+
+        x = self._x
+        if initial_throughput is not None:
+            x[...] = np.asarray(initial_throughput, dtype=float)
+        else:
+            x[...] = population / (
+                think + bank_service.mean() + bus_transfer.mean()
+            )
+
+        # Initialise queue estimates consistently with the starting
+        # throughputs (Little's law with bare service times), so warm
+        # starts actually shorten convergence.
+        r_bank = self._r_bank
+        r_bank[...] = bank_service
+        q = self._q
+        x2 = self._x2
+        x2_flat = self._x2_flat
+        x2_flat[...] = x
+        np.multiply(x2, routing, out=q)
+        np.multiply(q, r_bank, out=q)
+
+        # Local aliases: the loop below is the hottest code in the
+        # repository; attribute lookups are hoisted deliberately.
+        MUL, ADD, SUB, DIV = np.multiply, np.add, np.subtract, np.divide
+        MINI, MAXI, ABS, RED = np.minimum, np.maximum, np.abs, np.add.reduce
+        fg, rates = self._fg, self._rates
+        wait_bank, s_eff = self._wait_bank, self._s_eff
+        rho_bg, s_fg, bank_q = self._rho_bg, self._s_fg, self._bank_q
+        queue_seen, self_seen = self._queue_seen, self._self_seen
+        r_bank_new, r_prod = self._r_bank_alt, self._r_prod
+        r_mem, turnaround, x_new = self._r_mem, self._turnaround, self._x_new
+        dx, denom, q_new = self._dx, self._denom, self._q_new
+        rho_k, bus_wait_k, tmp_k = self._rho, self._bus_wait, self._tmp_k
+        pop_col = self._pop_col
+
+        last_rel_change = np.inf
+        current_damping = damping
+        retained = 1.0 - current_damping
+        for iteration in range(1, max_iterations + 1):
+            # Heavily congested points can make the plain fixed point
+            # oscillate; progressively stronger damping always settles it.
+            if iteration % 300 == 0:
+                current_damping *= 0.5
+                retained = 1.0 - current_damping
+            np.matmul(x, routing, out=fg)
+            ADD(fg, bg_rates, out=rates)
+            if scalar_bus:
+                # One controller: the bus quantities are scalars; the
+                # float ops below are the same IEEE operations as their
+                # 1-element array counterparts.
+                ctrl0 = float(np.bincount(bank_ctrl, weights=rates, minlength=1)[0])
+                rho0 = min(ctrl0 * bt0, _RHO_CAP)
+                # M/D/1 waiting time: bus transfers are deterministic
+                # (fixed-size cache-line bursts), which halves the
+                # queueing delay relative to the exponential M/M/1 form.
+                wait0 = bt0 * rho0 / (2.0 * (1.0 - rho0))
+                # Finite population: no more than (everything else in
+                # flight) can be queued ahead of a request at the bus.
+                wait0 = min(wait0, cap0)
+                ADD(bank_service, wait0, out=s_eff)
+                ADD(s_eff, bt0, out=s_eff)
+            else:
+                ctrl_rates = np.bincount(
+                    bank_ctrl, weights=rates, minlength=n_ctrl
+                )
+                MUL(ctrl_rates, bus_transfer, out=rho_k)
+                MINI(rho_k, _RHO_CAP, out=rho_k)
+                SUB(1.0, rho_k, out=tmp_k)
+                MUL(2.0, tmp_k, out=tmp_k)
+                MUL(bus_transfer, rho_k, out=bus_wait_k)
+                DIV(bus_wait_k, tmp_k, out=bus_wait_k)
+                MINI(bus_wait_k, pop_wait_cap, out=bus_wait_k)
+                # Transfer blocking: bank held for service + bus wait +
+                # transfer.
+                np.take(bus_wait_k, bank_ctrl, out=wait_bank)
+                ADD(bank_service, wait_bank, out=s_eff)
+                ADD(s_eff, bt_bank, out=s_eff)
+            if has_bg:
+                # Open background traffic inflates foreground-visible
+                # service.
+                MUL(bg_rates, s_eff, out=rho_bg)
+                MINI(rho_bg, _BG_RHO_CAP, out=rho_bg)
+                SUB(1.0, rho_bg, out=rho_bg)
+                DIV(s_eff, rho_bg, out=s_fg)
+            else:
+                # x / (1 - 0) == x bit-for-bit; skip four array ops.
+                s_fg[...] = s_eff
+
+            # Bard–Schweitzer: response at bank b for class i sees the
+            # total mean queue minus (1/n_i) of its own contribution.
+            RED(q, axis=0, out=bank_q)
+            if unit_pop:
+                # q / 1.0 == q bit-for-bit; skip the division.
+                SUB(bank_q, q, out=queue_seen)
+            else:
+                DIV(q, pop_col, out=self_seen)
+                SUB(bank_q, self_seen, out=queue_seen)
+            MAXI(queue_seen, 0.0, out=queue_seen)
+            ADD(1.0, queue_seen, out=queue_seen)
+            MUL(s_fg, queue_seen, out=r_bank_new)
+
+            MUL(routing, r_bank_new, out=r_prod)
+            RED(r_prod, axis=1, out=r_mem)
+            ADD(think, r_mem, out=turnaround)
+            DIV(population, turnaround, out=x_new)
+
+            MUL(x_new, current_damping, out=x2_flat)
+            MUL(x, retained, out=dx)
+            ADD(x2_flat, dx, out=x2_flat)
+            MUL(x2, routing, out=q_new)
+            MUL(q_new, r_bank_new, out=q_new)
+            MUL(q_new, current_damping, out=q_new)
+            MUL(q, retained, out=q)
+            ADD(q, q_new, out=q)
+
+            ABS(x, out=denom)
+            MAXI(denom, 1e-300, out=denom)
+            SUB(x2_flat, x, out=dx)
+            ABS(dx, out=dx)
+            DIV(dx, denom, out=dx)
+            last_rel_change = MAXI.reduce(dx)
+            x[...] = x2_flat
+            r_bank, r_bank_new = r_bank_new, r_bank
+
+            if last_rel_change < tolerance:
+                break
+        else:
+            raise ConvergenceError(
+                f"AMVA did not converge in {max_iterations} iterations "
+                f"(last relative change {last_rel_change:.3e})"
+            )
+        # Keep the double buffers consistent for the next solve.
+        self._r_bank, self._r_bank_alt = r_bank, r_bank_new
+
+        return self._snapshot(x, q, r_bank, iteration)
+
+    # ------------------------------------------------------------------
+    def _snapshot(
+        self,
+        x: np.ndarray,
+        q: np.ndarray,
+        r_bank: np.ndarray,
+        iteration: int,
+    ) -> MVASolution:
+        """Final consistent solution from the converged state.
+
+        Runs once per solve; output arrays are freshly allocated so the
+        solution stays valid across future solves on the same scratch.
+        """
+        a = self.arrays
+        n = a.n_classes
+        n_ctrl = a.n_controllers
+        routing = a.routing
+        bank_service = a.bank_service
+        bus_transfer = a.bus_transfer
+        bank_ctrl = a.bank_ctrl
+        bg_rates = a.bg_rates
+        total_pop = float(a.population.sum())
+
+        fg_bank_rates = x @ routing
+        bank_rates = fg_bank_rates + bg_rates
+        ctrl_rates = np.bincount(bank_ctrl, weights=bank_rates, minlength=n_ctrl)
+        rho_bus = np.minimum(ctrl_rates * bus_transfer, _RHO_CAP)
+        bus_wait = bus_transfer * rho_bus / (2.0 * (1.0 - rho_bus))
+        bus_wait = np.minimum(
+            bus_wait, max(total_pop - 1.0, 0.0) * bus_transfer
+        )
+        s_eff = bank_service + bus_wait[bank_ctrl] + bus_transfer[bank_ctrl]
+        bank_util = np.minimum(bank_rates * s_eff, 1.0)
+        bank_queue = q.sum(axis=0)
+
+        r_mem = (routing * r_bank).sum(axis=1)
+        turnaround = a.think_s + r_mem
+
+        # Per-(class, controller) response: conditional on visiting that
+        # controller, the expected response there.
+        ctrl_resp = np.zeros((n, n_ctrl))
+        for k in range(n_ctrl):
+            idx = a.controller_bank_index[k]
+            ctrl_resp[:, k] = (
+                (self._ctrl_weights[k] * r_bank[:, idx]).sum(axis=1)
+                / self._ctrl_denom[k]
+            )
+
+        return MVASolution(
+            throughput_per_s=x.copy(),
+            memory_response_s=r_mem,
+            turnaround_s=turnaround,
+            bank_utilization=bank_util,
+            bank_queue=bank_queue,
+            bus_utilization=rho_bus,
+            bus_wait_s=bus_wait,
+            controller_arrival_per_s=ctrl_rates,
+            controller_response_s=ctrl_resp,
+            controller_visit_probs=a.visit_matrix.copy(),
+            iterations=iteration,
+        )
+
+
 def solve_mva(
-    network: QueueingNetwork,
+    network: Union[QueueingNetwork, NetworkArrays],
     max_iterations: int = 2000,
     tolerance: float = 1e-10,
     damping: float = 0.5,
@@ -80,133 +388,22 @@ def solve_mva(
 ) -> MVASolution:
     """Solve the network to steady state.
 
+    Accepts a declarative :class:`QueueingNetwork` (compiled to arrays
+    on the fly) or a prebuilt :class:`NetworkArrays`.  Hot loops that
+    solve the same structure repeatedly should hold a
+    :class:`MVASolver` instead and mutate its arrays in place.
+
     Raises :class:`ConvergenceError` if the damped fixed point does not
     reach ``tolerance`` within ``max_iterations``.
     """
-    n = network.n_classes
-    n_banks = network.total_banks
-
-    routing = network.routing_matrix()  # (n, B)
-    bank_service = network.bank_service_vector()  # (B,)
-    bus_transfer = network.bus_transfer_vector()  # (K,)
-    bank_ctrl = network.bank_controller_map()  # (B,)
-    bg_rates = network.background_rate_vector()  # (B,)
-    population = np.array([c.population for c in network.classes], dtype=float)
-    think = np.array(
-        [c.think_time_s + c.cache_time_s for c in network.classes], dtype=float
+    arrays = (
+        network
+        if isinstance(network, NetworkArrays)
+        else NetworkArrays.from_network(network)
     )
-    n_controllers = len(network.controllers)
-    total_pop = float(population.sum())
-
-    # Controller visit probabilities per class (for the multi-controller
-    # weighted response-time counters).
-    visit = np.zeros((n, n_controllers))
-    for k in range(n_controllers):
-        visit[:, k] = routing[:, bank_ctrl == k].sum(axis=1)
-
-    if initial_throughput is not None:
-        x = np.asarray(initial_throughput, dtype=float).copy()
-    else:
-        x = population / (think + bank_service.mean() + bus_transfer.mean())
-
-    # Initialise queue estimates consistently with the starting
-    # throughputs (Little's law with bare service times), so warm
-    # starts actually shorten convergence.
-    r_bank = np.tile(bank_service, (n, 1))
-    q_per_class_bank = x[:, None] * routing * r_bank
-
-    last_rel_change = np.inf
-    current_damping = damping
-    for iteration in range(1, max_iterations + 1):
-        # Heavily congested points can make the plain fixed point
-        # oscillate; progressively stronger damping always settles it.
-        if iteration % 300 == 0:
-            current_damping *= 0.5
-        fg_bank_rates = x @ routing  # (B,)
-        bank_rates = fg_bank_rates + bg_rates
-        ctrl_rates = np.bincount(
-            bank_ctrl, weights=bank_rates, minlength=n_controllers
-        )
-
-        rho_bus = np.minimum(ctrl_rates * bus_transfer, _RHO_CAP)
-        # M/D/1 waiting time: bus transfers are deterministic
-        # (fixed-size cache-line bursts), which halves the queueing
-        # delay relative to the exponential M/M/1 form.
-        bus_wait = bus_transfer * rho_bus / (2.0 * (1.0 - rho_bus))
-        # Finite population: no more than (everything else in flight)
-        # can be queued ahead of a request at the bus.
-        bus_wait = np.minimum(bus_wait, max(total_pop - 1.0, 0.0) * bus_transfer)
-
-        # Transfer blocking: bank held for service + bus wait + transfer.
-        s_eff = bank_service + bus_wait[bank_ctrl] + bus_transfer[bank_ctrl]
-
-        # Open background traffic inflates foreground-visible service.
-        rho_bg = np.minimum(bg_rates * s_eff, _BG_RHO_CAP)
-        s_fg = s_eff / (1.0 - rho_bg)
-
-        # Bard–Schweitzer: response at bank b for class i sees the
-        # total mean queue minus (1/n_i) of its own contribution.
-        bank_queue_total = q_per_class_bank.sum(axis=0)  # (B,)
-        self_seen = q_per_class_bank / population[:, None]
-        queue_seen = np.maximum(bank_queue_total[None, :] - self_seen, 0.0)
-        r_bank_new = s_fg[None, :] * (1.0 + queue_seen)
-
-        r_mem = (routing * r_bank_new).sum(axis=1)
-        turnaround = think + r_mem
-        x_new = population / turnaround
-
-        x_next = current_damping * x_new + (1.0 - current_damping) * x
-        q_new = x_next[:, None] * routing * r_bank_new
-        q_next = current_damping * q_new + (1.0 - current_damping) * q_per_class_bank
-
-        denom = np.maximum(np.abs(x), 1e-300)
-        last_rel_change = float(np.max(np.abs(x_next - x) / denom))
-        x = x_next
-        q_per_class_bank = q_next
-        r_bank = r_bank_new
-
-        if last_rel_change < tolerance:
-            break
-    else:
-        raise ConvergenceError(
-            f"AMVA did not converge in {max_iterations} iterations "
-            f"(last relative change {last_rel_change:.3e})"
-        )
-
-    # Final consistent snapshot.
-    fg_bank_rates = x @ routing
-    bank_rates = fg_bank_rates + bg_rates
-    ctrl_rates = np.bincount(bank_ctrl, weights=bank_rates, minlength=n_controllers)
-    rho_bus = np.minimum(ctrl_rates * bus_transfer, _RHO_CAP)
-    bus_wait = bus_transfer * rho_bus / (2.0 * (1.0 - rho_bus))
-    bus_wait = np.minimum(bus_wait, max(total_pop - 1.0, 0.0) * bus_transfer)
-    s_eff = bank_service + bus_wait[bank_ctrl] + bus_transfer[bank_ctrl]
-    rho_bg = np.minimum(bg_rates * s_eff, _BG_RHO_CAP)
-    bank_util = np.minimum(bank_rates * s_eff, 1.0)
-    bank_queue = q_per_class_bank.sum(axis=0)
-
-    r_mem = (routing * r_bank).sum(axis=1)
-    turnaround = think + r_mem
-
-    # Per-(class, controller) response: conditional on visiting that
-    # controller, the expected response there.
-    ctrl_resp = np.zeros((n, n_controllers))
-    for k in range(n_controllers):
-        mask = bank_ctrl == k
-        weights = routing[:, mask]
-        denom = np.maximum(weights.sum(axis=1), 1e-300)
-        ctrl_resp[:, k] = (weights * r_bank[:, mask]).sum(axis=1) / denom
-
-    return MVASolution(
-        throughput_per_s=x,
-        memory_response_s=r_mem,
-        turnaround_s=turnaround,
-        bank_utilization=bank_util,
-        bank_queue=bank_queue,
-        bus_utilization=rho_bus,
-        bus_wait_s=bus_wait,
-        controller_arrival_per_s=ctrl_rates,
-        controller_response_s=ctrl_resp,
-        controller_visit_probs=visit,
-        iterations=iteration,
+    return MVASolver(arrays).solve(
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        damping=damping,
+        initial_throughput=initial_throughput,
     )

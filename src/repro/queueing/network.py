@@ -166,6 +166,20 @@ class QueueingNetwork:
             rates[flow.bank_index] += flow.rate_per_s
         return rates
 
+    def to_arrays(self):
+        """Compile to the array-native form consumed by the solvers.
+
+        Returns a :class:`repro.queueing.arrays.NetworkArrays` holding
+        this network's routing matrix, service/transfer vectors,
+        background rates, populations and think times.  Solving the
+        arrays is bit-identical to solving this network; the arrays can
+        then be mutated in place (:meth:`NetworkArrays.update`) without
+        rebuilding any spec objects.
+        """
+        from repro.queueing.arrays import NetworkArrays
+
+        return NetworkArrays.from_network(self)
+
 
 def uniform_bank_probs(n_banks: int) -> Tuple[float, ...]:
     """Uniform routing over ``n_banks`` banks."""

@@ -33,14 +33,9 @@ from typing import List, Optional, Protocol, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.queueing.mva import MVASolution, solve_mva
-from repro.queueing.network import (
-    BackgroundFlow,
-    ControllerSpec,
-    JobClassSpec,
-    QueueingNetwork,
-    zipf_bank_probs,
-)
+from repro.queueing.arrays import NetworkArrays
+from repro.queueing.mva import MVASolution, MVASolver
+from repro.queueing.network import zipf_bank_probs
 from repro.sim import cpu_power, dram_power
 from repro.sim.config import SystemConfig
 from repro.sim.counters import ControllerCounters, CoreCounters, EpochCounters
@@ -176,17 +171,46 @@ class RunResult:
     def n_epochs(self) -> int:
         return len(self.epochs)
 
+    def _series(self) -> dict:
+        """Per-epoch record columns as arrays, computed once (lazy).
+
+        Every aggregate statistic below derives from these columns; the
+        cache is invalidated when epochs are appended or the tail
+        record changes (it is keyed on the epoch count and the identity
+        of the last record — records themselves are frozen), so a
+        result can be inspected mid-run and re-summarised after.
+        """
+        epochs = self.epochs
+        key = (len(epochs), id(epochs[-1]) if epochs else None)
+        cache = self.__dict__.get("_series_cache")
+        if cache is None or cache["key"] != key:
+            cache = {
+                "key": key,
+                "start_s": np.array([e.start_time_s for e in epochs]),
+                "duration_s": np.array([e.duration_s for e in epochs]),
+                "total_power_w": np.array([e.total_power_w for e in epochs]),
+                "cpu_power_w": np.array([e.cpu_power_w for e in epochs]),
+                "memory_power_w": np.array([e.memory_power_w for e in epochs]),
+                "decision_time_s": np.array(
+                    [e.decision_time_s for e in epochs]
+                ),
+            }
+            self.__dict__["_series_cache"] = cache
+        return cache
+
     def mean_power_w(self) -> float:
         """Time-weighted mean full-system power over the run."""
-        total_energy = sum(e.total_power_w * e.duration_s for e in self.epochs)
-        total_time = sum(e.duration_s for e in self.epochs)
-        return total_energy / total_time if total_time > 0 else 0.0
+        s = self._series()
+        total_time = float(s["duration_s"].sum())
+        if total_time <= 0:
+            return 0.0
+        return float(np.dot(s["total_power_w"], s["duration_s"])) / total_time
 
     def max_epoch_power_w(self) -> float:
         """Highest single-epoch power; 0.0 for a run with no epochs."""
         if not self.epochs:
             return 0.0
-        return max(e.total_power_w for e in self.epochs)
+        return float(self._series()["total_power_w"].max())
 
     def per_core_tpi_s(self) -> np.ndarray:
         """Wall-clock time per instruction for each core over the run.
@@ -203,14 +227,18 @@ class RunResult:
         return self.elapsed_s / np.maximum(self.instructions, 1.0)
 
     def mean_decision_time_s(self) -> float:
-        times = [e.decision_time_s for e in self.epochs if e.decision_time_s > 0]
-        return float(np.mean(times)) if times else 0.0
+        times = self._series()["decision_time_s"]
+        times = times[times > 0]
+        return float(times.mean()) if times.size else 0.0
 
     def power_series(self) -> Tuple[np.ndarray, np.ndarray]:
-        """(epoch start times, total power) series for the time plots."""
-        t = np.array([e.start_time_s for e in self.epochs])
-        p = np.array([e.total_power_w for e in self.epochs])
-        return t, p
+        """(epoch start times, total power) series for the time plots.
+
+        Returns copies of the cached epoch columns, so callers may
+        mutate them freely.
+        """
+        s = self._series()
+        return s["start_s"].copy(), s["total_power_w"].copy()
 
 
 @dataclass(frozen=True)
@@ -253,6 +281,7 @@ class ServerSimulator:
         self.workload = workload
         self.engine = engine
         self._eventsim_window_s = eventsim_window_s
+        self._run_seed = seed
         self._rng = np.random.default_rng(seed)
         self._apps = workload.instantiate(config.n_cores)
         self._pressure = workload.pressure()
@@ -266,6 +295,31 @@ class ServerSimulator:
         self._ips_estimate = np.array(
             [config.core_dvfs.f_max_hz / a.cpi_exe for a in self._apps]
         )
+        self._intensity = np.array([a.intensity for a in self._apps])
+        # Compiled network: structure (routing, topology, populations)
+        # is static for the simulator's lifetime; think times, bank
+        # service, bus transfer and background rates are written in
+        # place every fixed-point iteration.  The solver's scratch is
+        # likewise allocated once.
+        topo = config.memory
+        self._arrays = NetworkArrays(
+            routing=self._routing,
+            bank_service=np.ones(topo.n_controllers * topo.banks_per_controller),
+            bus_transfer=np.ones(topo.n_controllers),
+            bank_ctrl=np.repeat(
+                np.arange(topo.n_controllers, dtype=np.int64),
+                topo.banks_per_controller,
+            ),
+            population=np.ones(config.n_cores),
+            think_s=np.zeros(config.n_cores),
+            names=tuple(a.name for a in self._apps),
+        )
+        self._solver = MVASolver(self._arrays)
+        self._phase_tables = [self._compile_phase_table(a) for a in self._apps]
+        #: Monotone operating-point counter: seeds the event-driven
+        #: measurement windows deterministically (independent of how
+        #: many draws other consumers took from ``self._rng``).
+        self._op_index = 0
 
     # ------------------------------------------------------------------
     # Static structure
@@ -306,20 +360,71 @@ class ServerSimulator:
     # ------------------------------------------------------------------
     # Per-phase behaviour
     # ------------------------------------------------------------------
+    def _compile_phase_table(self, app) -> Tuple[Tuple[float, ...], float, list]:
+        """Precompute effective per-phase rates for one application.
+
+        The phase-modulated effective rates only depend on *which*
+        phase is active, so the (mpki, wpki, cpi_exe, row_hit) tuples
+        can be evaluated once per phase at simulator construction by
+        calling the real helpers (:func:`effective_mpki` and friends)
+        at each phase's first instruction.  ``_phase_parameters`` then
+        reduces to a phase lookup per core.
+        """
+        phases = app.phases
+        if not phases:
+            probes = [0.0]
+            durations: Tuple[float, ...] = (float("inf"),)
+            cycle = float("inf")
+        else:
+            durations = tuple(p.duration_instructions for p in phases)
+            cycle = sum(p.duration_instructions for p in phases)
+            # Probe each phase at its midpoint — far from the phase
+            # boundaries, where the subtractive scan's floating-point
+            # epsilon could land a probe in the neighbouring phase.
+            offset = 0.0
+            probes = []
+            for duration in durations:
+                probes.append(
+                    offset + 0.5 * duration
+                    if np.isfinite(duration)
+                    else offset
+                )
+                offset += duration
+        values = [
+            (
+                effective_mpki(app, self._pressure, probe),
+                effective_wpki(app, self._pressure, probe),
+                app.cpi_exe_at(probe),
+                app.row_hit_rate_at(probe),
+            )
+            for probe in probes
+        ]
+        return (durations, cycle, values)
+
     def _phase_parameters(
         self, instructions_retired: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Effective (mpki, wpki, cpi_exe, row_hit) per core right now."""
-        mpki = np.empty(self.config.n_cores)
-        wpki = np.empty(self.config.n_cores)
-        cpi = np.empty(self.config.n_cores)
-        row = np.empty(self.config.n_cores)
-        for i, app in enumerate(self._apps):
-            done = float(instructions_retired[i])
-            mpki[i] = effective_mpki(app, self._pressure, done)
-            wpki[i] = effective_wpki(app, self._pressure, done)
-            cpi[i] = app.cpi_exe_at(done)
-            row[i] = app.row_hit_rate_at(done)
+        n = self.config.n_cores
+        mpki = np.empty(n)
+        wpki = np.empty(n)
+        cpi = np.empty(n)
+        row = np.empty(n)
+        for i in range(n):
+            durations, cycle, values = self._phase_tables[i]
+            if len(values) == 1:
+                entry = values[0]
+            else:
+                # Same subtractive scan as ApplicationProfile.phase_at,
+                # so boundary-epsilon behaviour is preserved exactly.
+                pos = float(instructions_retired[i]) % cycle
+                entry = values[-1]
+                for j, duration in enumerate(durations):
+                    if pos < duration:
+                        entry = values[j]
+                        break
+                    pos -= duration
+            mpki[i], wpki[i], cpi[i], row[i] = entry
         return mpki, wpki, cpi, row
 
     # ------------------------------------------------------------------
@@ -331,9 +436,14 @@ class ServerSimulator:
         instructions_retired: np.ndarray,
         fixed_point_iterations: int = 3,
     ) -> _OperatingPoint:
-        """Steady state at given frequencies and execution positions."""
+        """Steady state at given frequencies and execution positions.
+
+        Runs entirely on the simulator's compiled :class:`NetworkArrays`
+        — per-iteration inputs are written in place and the preallocated
+        MVA kernel re-solved, so no spec objects (`JobClassSpec`,
+        `ControllerSpec`, `BackgroundFlow`) are ever constructed here.
+        """
         cfg = self.config
-        n = cfg.n_cores
         mpki, wpki, cpi_exe, row_hit = self._phase_parameters(instructions_retired)
 
         base_blocking = cfg.ooo.blocking_fraction if cfg.ooo.enabled else 1.0
@@ -365,6 +475,8 @@ class ServerSimulator:
         if cfg.ooo.enabled:
             iterations = max(iterations, 4)
 
+        arrays = self._arrays
+        solver = self._solver
         for _ in range(iterations):
             # Out-of-order window backpressure: the instruction window
             # can only hide misses while the memory keeps up.  As the
@@ -401,34 +513,16 @@ class ServerSimulator:
             bg_per_core = wb_rates + nonblocking
             bg_per_bank = bg_per_core @ self._routing
 
-            classes = tuple(
-                JobClassSpec(
-                    name=self._apps[i].name,
-                    think_time_s=float(think[i]),
-                    cache_time_s=cache_time,
-                    bank_probs=tuple(self._routing[i]),
-                )
-                for i in range(n)
-            )
-            controllers = tuple(
-                ControllerSpec(
-                    bank_service_s=tuple(s_m for _ in range(banks_per)),
-                    bus_transfer_s=s_b,
-                )
-                for _ in range(n_ctrl)
-            )
-            background = tuple(
-                BackgroundFlow(bank_index=b, rate_per_s=float(r))
-                for b, r in enumerate(bg_per_bank)
-                if r > 0
-            )
-            network = QueueingNetwork(
-                classes=classes, controllers=controllers, background=background
+            arrays.update(
+                think=think + cache_time,
+                s_m=s_m,
+                s_b=s_b,
+                bg_rates=bg_per_bank,
             )
             # 1e-8 relative tolerance is far below the 1% counter
             # noise; the default 1e-10 would just burn iterations.
-            solution = solve_mva(
-                network, initial_throughput=warm_start, tolerance=1e-8
+            solution = solver.solve(
+                initial_throughput=warm_start, tolerance=1e-8
             )
             warm_start = solution.throughput_per_s
             # Damp the IPS feedback: background rates and the OoO
@@ -437,10 +531,11 @@ class ServerSimulator:
             ips = 0.5 * ips + 0.5 * solution.throughput_per_s * inst_per_miss
 
         assert solution is not None
+        self._op_index += 1
 
         if self.engine == "eventsim":
             solution = self._measure_with_eventsim(
-                network, solution, think + cache_time
+                arrays, solution, think + cache_time
             )
 
         # Accounting uses the final converged solution, not the damped
@@ -450,36 +545,33 @@ class ServerSimulator:
 
         # --- Ground-truth power ---------------------------------------
         activity = think / solution.turnaround_s
-        core_powers = np.array(
-            [
-                cpu_power.core_power_w(
-                    cfg.core_dvfs,
-                    cfg.power,
-                    float(core_freqs[i]),
-                    float(min(activity[i], 1.0)),
-                    self._apps[i].intensity,
-                )
-                for i in range(n)
-            ]
+        core_powers = cpu_power.core_power_w_batch(
+            cfg.core_dvfs,
+            cfg.power,
+            core_freqs,
+            np.minimum(activity, 1.0),
+            self._intensity,
         )
-        mem_power = 0.0
         bank_service_per_ctrl = np.full(n_ctrl, s_m)
+        mem_powers = dram_power.memory_subsystem_power_per_controller_w(
+            topology=topo,
+            currents=cfg.dram_currents,
+            timing=cfg.dram_timing,
+            calibration=cfg.power,
+            mem_ladder=cfg.mem_dvfs,
+            bus_frequency_hz=bus_freq,
+            access_rate_per_s=solution.controller_arrival_per_s,
+            row_hit_rate=row_hit_avg,
+            bank_utilization=solution.bank_utilization.reshape(
+                n_ctrl, banks_per
+            ).mean(axis=1),
+            bus_utilization=solution.bus_utilization,
+        )
+        # Sequential accumulation over controllers (matches the seed
+        # summation order bit for bit).
+        mem_power = 0.0
         for k in range(n_ctrl):
-            bank_slice = slice(k * banks_per, (k + 1) * banks_per)
-            mem_power += dram_power.memory_subsystem_power_w(
-                topology=topo,
-                currents=cfg.dram_currents,
-                timing=cfg.dram_timing,
-                calibration=cfg.power,
-                mem_ladder=cfg.mem_dvfs,
-                bus_frequency_hz=bus_freq,
-                access_rate_per_s=float(solution.controller_arrival_per_s[k]),
-                row_hit_rate=row_hit_avg,
-                bank_utilization=float(
-                    np.mean(solution.bank_utilization[bank_slice])
-                ),
-                bus_utilization=float(solution.bus_utilization[k]),
-            )
+            mem_power += float(mem_powers[k])
         total = float(core_powers.sum() + mem_power + cfg.power.other_static_w)
 
         return _OperatingPoint(
@@ -497,15 +589,26 @@ class ServerSimulator:
     # ------------------------------------------------------------------
     # Event-driven measurement overlay (engine="eventsim")
     # ------------------------------------------------------------------
+    def _eventsim_seed(self) -> int:
+        """Deterministic seed for the current operating-point window.
+
+        Derived from the run seed and the operating-point counter, so
+        event-driven measurements do not depend on how many draws other
+        consumers (counter noise, future samplers) took from the shared
+        ``self._rng`` — runs are reproducible regardless of call order.
+        """
+        seq = np.random.SeedSequence((self._run_seed, self._op_index))
+        return int(seq.generate_state(1)[0])
+
     def _measure_with_eventsim(
         self,
-        network: QueueingNetwork,
+        arrays: NetworkArrays,
         analytic: MVASolution,
         think_plus_cache: np.ndarray,
     ) -> MVASolution:
         """Replace the analytic estimates with event-driven measurements.
 
-        Runs the final network of the fixed point through the
+        Runs the final network arrays of the fixed point through the
         discrete-event simulator for a short window and overlays the
         measured throughputs, response times and utilisations onto the
         solution object.  Quantities the event simulator does not
@@ -518,10 +621,10 @@ class ServerSimulator:
 
         window = self._eventsim_window_s
         measured = simulate_network(
-            network,
+            arrays,
             horizon_s=window,
             warmup_s=0.25 * window,
-            seed=int(self._rng.integers(2**31)),
+            seed=self._eventsim_seed(),
         )
         throughput = np.where(
             measured.completions > 0,

@@ -112,3 +112,35 @@ class TestEmptyRunGuards:
         empty.instructions = np.zeros(2)
         tpi = empty.per_core_tpi_s()
         assert list(tpi) == [0.0, 0.0]
+
+
+class TestSeriesCache:
+    """The lazy epoch-column cache behind the aggregate statistics."""
+
+    def test_cache_is_built_once_and_reused(self, result):
+        first = result._series()
+        assert result._series() is first
+        # All statistics agree with the direct per-epoch loops.
+        assert result.mean_power_w() == pytest.approx(
+            sum(e.total_power_w * e.duration_s for e in result.epochs)
+            / sum(e.duration_s for e in result.epochs)
+        )
+        assert result.max_epoch_power_w() == max(
+            e.total_power_w for e in result.epochs
+        )
+        assert result.mean_decision_time_s() == pytest.approx(
+            np.mean([e.decision_time_s for e in result.epochs])
+        )
+
+    def test_cache_invalidates_on_new_epochs(self, result):
+        assert result.max_epoch_power_w() == 70.0
+        result.epochs.append(make_epoch(3, 90.0))
+        assert result.max_epoch_power_w() == 90.0
+        t, p = result.power_series()
+        assert len(t) == 4 and p[-1] == 90.0
+
+    def test_power_series_returns_mutable_copies(self, result):
+        t, p = result.power_series()
+        p[:] = 0.0
+        t2, p2 = result.power_series()
+        assert p2[0] == 60.0
