@@ -10,8 +10,9 @@ config) runs.  This package makes that shape first-class:
   cross-products; campaigns round-trip through JSON for the CLI's
   ``batch`` subcommand);
 * :class:`CampaignRunner` — executes specs/campaigns with quick-mode
-  scaling, multiprocessing fan-out (``jobs=N``), and a persistent
-  content-addressed result cache (``cache_dir=...``);
+  scaling, multiprocessing fan-out (``jobs=N``), cross-run lockstep
+  batching (``batch="fleet"``), and a persistent content-addressed
+  result cache (``cache_dir=...``);
 * :class:`CampaignResult` — spec-addressable results, including the
   max-frequency baselines that normalize performance;
 * :class:`ResultCache` — the on-disk spec-hash → result store;
@@ -41,6 +42,7 @@ from repro.campaign.campaign import Campaign, CampaignResult
 from repro.campaign.runner import (
     CampaignRunner,
     config_for_spec,
+    execute_fleet,
     execute_spec,
     resolved_policy_name,
 )
@@ -53,6 +55,7 @@ __all__ = [
     "ResultCache",
     "RunSpec",
     "config_for_spec",
+    "execute_fleet",
     "execute_spec",
     "resolved_policy_name",
 ]

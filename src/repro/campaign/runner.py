@@ -17,21 +17,37 @@
   per-spec results are byte-identical to a serial run — except the
   per-epoch decision wall times, the one measured (non-simulated)
   quantity; set ``record_decision_time=False`` on a spec to zero
-  those out and make results bit-reproducible everywhere.
+  those out and make results bit-reproducible everywhere;
+* **fleet batching** — ``batch="fleet"`` groups cache-miss specs that
+  share a network shape (core count × controller count) and advances
+  each group's runs in lockstep through one
+  :class:`~repro.sim.server.FleetSimulator`, so the AMVA solves and
+  FastCap decision bisections batch across runs instead of looping
+  :func:`execute_spec`.  Per-spec results stay byte-identical to the
+  scalar path (the golden-parity suite gates this) with the same
+  caveat as the worker fan-out — decision wall times are measured,
+  never batched, for specs that record them — so fleet and scalar
+  runs share one cache.  Composes with ``jobs``: each fleet chunk
+  becomes one worker task.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.campaign import Campaign, CampaignResult
 from repro.campaign.spec import RunSpec
+from repro.errors import ConfigurationError
 from repro.policies.registry import format_policy_name, make_policy, parse_policy_name
 from repro.sim.config import SystemConfig, table2_config
 from repro.sim.server import RunResult, ServerSimulator
 from repro.units import MS
+
+#: Spec batching strategies for campaign cache misses.
+BATCH_MODES = ("scalar", "fleet")
 
 
 def config_for_spec(spec: RunSpec) -> SystemConfig:
@@ -86,11 +102,63 @@ def execute_spec(spec: RunSpec) -> RunResult:
     )
 
 
+def execute_fleet(specs: Sequence[RunSpec]) -> List[RunResult]:
+    """Simulate several shape-compatible specs in one lockstep fleet.
+
+    The fleet twin of :func:`execute_spec`: each spec becomes one
+    :class:`~repro.sim.server.FleetLane` and all lanes advance
+    epoch-by-epoch through a :class:`~repro.sim.server.FleetSimulator`,
+    batching the AMVA solves across runs (and the FastCap-family
+    decisions of lanes that do not record decision wall times).
+    Results are returned in spec order and are byte-identical to
+    ``[execute_spec(s) for s in specs]`` for deterministic specs
+    (``record_decision_time=False``); specs that measure decision
+    times get individually timed per-governor decides, so their
+    simulated numbers are identical too and only the measured wall
+    times vary — the same nondeterminism any timed run has.
+
+    All specs must share the network shape — ``n_cores`` and
+    ``n_controllers`` (:class:`FleetSimulator` validates).
+    """
+    from repro.sim.server import FleetLane, FleetSimulator
+    from repro.workloads import get_workload  # local: keeps import cheap
+
+    lanes = []
+    for spec in specs:
+        sim = ServerSimulator(
+            config_for_spec(spec),
+            get_workload(spec.workload),
+            seed=spec.seed,
+            engine=spec.engine,
+        )
+        lanes.append(
+            FleetLane(
+                simulator=sim,
+                policy=make_policy(resolved_policy_name(spec)),
+                budget_fraction=spec.budget_fraction,
+                instruction_quota=spec.instruction_quota,
+                max_epochs=spec.max_epochs,
+                measure_decision_time=spec.record_decision_time,
+            )
+        )
+    return FleetSimulator(lanes).run()
+
+
 def _execute_spec_json(spec_json: str) -> Dict:
     """Process-pool worker: JSON spec in, plain result dict out."""
     from repro.sim.results_io import run_result_to_dict
 
     return run_result_to_dict(execute_spec(RunSpec.from_json(spec_json)))
+
+
+def _execute_unit_json(unit_json: str) -> List[Dict]:
+    """Process-pool worker for one execution unit (1 spec or a fleet)."""
+    from repro.sim.results_io import run_result_to_dict
+
+    specs = [RunSpec.from_json(text) for text in json.loads(unit_json)]
+    if len(specs) == 1:
+        return [run_result_to_dict(execute_spec(specs[0]))]
+    return [run_result_to_dict(result) for result in execute_fleet(specs)]
 
 
 class CampaignRunner:
@@ -107,10 +175,22 @@ class CampaignRunner:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         cache_format: str = "json",
+        batch: str = "scalar",
+        fleet_width: int = 64,
     ) -> None:
+        if batch not in BATCH_MODES:
+            raise ConfigurationError(
+                f"unknown batch mode {batch!r}; known: {list(BATCH_MODES)}"
+            )
         self.quick = quick
         self.quick_factor = quick_factor
         self.jobs = max(int(jobs), 1)
+        #: ``"scalar"`` loops :func:`execute_spec` over cache misses;
+        #: ``"fleet"`` groups shape-compatible misses into lockstep
+        #: :func:`execute_fleet` batches (byte-identical results).
+        self.batch = batch
+        #: Maximum lanes per fleet; wider groups are chunked.
+        self.fleet_width = max(int(fleet_width), 1)
         self.cache = (
             ResultCache(cache_dir, fmt=cache_format) if cache_dir else None
         )
@@ -121,6 +201,8 @@ class CampaignRunner:
         self.memo_hits = 0
         #: Specs actually handed to the simulator.
         self.runs_executed = 0
+        #: Specs executed inside lockstep fleets (subset of runs_executed).
+        self.fleet_runs = 0
 
     # ------------------------------------------------------------------
     def scaled(self, spec: RunSpec) -> RunSpec:
@@ -238,29 +320,73 @@ class CampaignRunner:
             runs_executed=self.runs_executed - runs_before,
         )
 
+    def _fleet_units(
+        self, misses: List[Tuple[int, RunSpec]]
+    ) -> List[List[Tuple[int, RunSpec]]]:
+        """Group misses into execution units for fleet batching.
+
+        Specs sharing a network shape (``n_cores``, ``n_controllers``)
+        form one fleet, chunked to ``fleet_width`` lanes; groups keep
+        first-appearance order and singletons run scalar.  Every unit
+        is an independent work item for the serial loop or the process
+        pool — with ``jobs > 1`` the chunk size also shrinks so each
+        group yields at least ~``jobs`` units, otherwise one maximal
+        fleet would leave the rest of the pool idle.
+        """
+        groups: Dict[Tuple[int, int], List[Tuple[int, RunSpec]]] = {}
+        for item in misses:
+            key = (item[1].n_cores, item[1].n_controllers)
+            groups.setdefault(key, []).append(item)
+        units: List[List[Tuple[int, RunSpec]]] = []
+        for members in groups.values():
+            width = self.fleet_width
+            if self.jobs > 1:
+                per_worker = -(-len(members) // self.jobs)  # ceil div
+                width = max(2, min(width, per_worker))
+            for start in range(0, len(members), width):
+                units.append(members[start : start + width])
+        return units
+
     def _execute_misses(
         self, misses: List[Tuple[int, RunSpec]]
     ) -> Dict[int, RunResult]:
         """Simulate cache misses, in-process or across a worker pool."""
+        if self.batch == "fleet":
+            units = self._fleet_units(misses)
+        else:
+            units = [[item] for item in misses]
+
         out: Dict[int, RunResult] = {}
-        if self.jobs > 1 and len(misses) > 1:
+        if self.jobs > 1 and len(units) > 1:
             from concurrent.futures import ProcessPoolExecutor
 
             from repro.sim.results_io import run_result_from_dict
 
-            workers = min(self.jobs, len(misses))
-            payloads = [spec.to_json() for _, spec in misses]
+            workers = min(self.jobs, len(units))
+            payloads = [
+                json.dumps([spec.to_json() for _, spec in unit])
+                for unit in units
+            ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                dicts = list(pool.map(_execute_spec_json, payloads))
-            for (i, spec), data in zip(misses, dicts):
-                result = run_result_from_dict(data)
-                self.runs_executed += 1
-                self._store(spec, result)
-                out[i] = result
+                unit_dicts = list(pool.map(_execute_unit_json, payloads))
+            for unit, dicts in zip(units, unit_dicts):
+                for (i, spec), data in zip(unit, dicts):
+                    result = run_result_from_dict(data)
+                    self.runs_executed += 1
+                    if len(unit) > 1:
+                        self.fleet_runs += 1
+                    self._store(spec, result)
+                    out[i] = result
         else:
-            for i, spec in misses:
-                result = execute_spec(spec)
-                self.runs_executed += 1
-                self._store(spec, result)
-                out[i] = result
+            for unit in units:
+                if len(unit) == 1:
+                    i, spec = unit[0]
+                    results = [execute_spec(spec)]
+                else:
+                    results = execute_fleet([spec for _, spec in unit])
+                    self.fleet_runs += len(unit)
+                for (i, spec), result in zip(unit, results):
+                    self.runs_executed += 1
+                    self._store(spec, result)
+                    out[i] = result
         return out

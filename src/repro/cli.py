@@ -21,11 +21,28 @@ cache performs zero simulator runs).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 #: Valid values for the quick/full resolution.
 MODES = ("quick", "full")
+
+#: Upper bound on the automatic --jobs default; beyond this, process
+#: start-up and result (de)serialisation outweigh extra parallelism on
+#: CI-sized campaigns.
+_MAX_DEFAULT_JOBS = 8
+
+
+def default_jobs() -> int:
+    """The --jobs value used when the flag is omitted.
+
+    Multi-spec commands (``run``, ``sweep``, ``batch``) fan out over
+    the machine's cores by default — the runner's parallel path was
+    previously opt-in only, which left the common figure commands
+    serial on many-core hosts.  Explicit ``--jobs N`` always wins.
+    """
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_JOBS))
 
 
 def _add_mode_arguments(parser: argparse.ArgumentParser) -> None:
@@ -54,15 +71,34 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="worker processes for parallel spec fan-out (default 1)",
+        help="worker processes for parallel spec fan-out "
+        "(default: one per CPU core, capped at "
+        f"{_MAX_DEFAULT_JOBS}; pass 1 to force serial)",
     )
     parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         help="persistent result cache (content-addressed by spec hash)",
     )
+    parser.add_argument(
+        "--batch",
+        choices=("scalar", "fleet"),
+        default="scalar",
+        help="cache-miss execution: 'scalar' runs specs one by one, "
+        "'fleet' advances shape-compatible specs in one lockstep "
+        "batched simulator (byte-identical results, less dispatch "
+        "overhead)",
+    )
+
+
+def resolve_jobs(args: argparse.Namespace) -> int:
+    """Resolve the --jobs flag to a worker count (default: per-CPU)."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        return default_jobs()
+    return max(int(jobs), 1)
 
 
 def resolve_mode(args: argparse.Namespace) -> str:
@@ -180,17 +216,29 @@ def _parse_budgets(text: str) -> List[float]:
         ) from None
 
 
+def build_runner(args: argparse.Namespace):
+    """The :class:`CampaignRunner` a campaign-shaped command resolves to.
+
+    Central so the flag→runner mapping (mode, the per-CPU ``--jobs``
+    default, ``--cache-dir``, ``--batch``) is testable without running
+    a campaign.
+    """
+    from repro.campaign import CampaignRunner
+
+    return CampaignRunner(
+        quick=resolve_mode(args) == "quick",
+        jobs=resolve_jobs(args),
+        cache_dir=args.cache_dir,
+        batch=getattr(args, "batch", "scalar"),
+    )
+
+
 def _run_campaign_command(campaign, args: argparse.Namespace) -> int:
     """Shared implementation of ``sweep`` and ``batch``."""
-    from repro.campaign import CampaignRunner
     from repro.experiments.report import Table
     from repro.metrics.performance import normalized_degradation
 
-    runner = CampaignRunner(
-        quick=resolve_mode(args) == "quick",
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-    )
+    runner = build_runner(args)
     results = runner.run_campaign(
         campaign, include_baselines=args.baselines
     )
@@ -262,8 +310,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         output = run_experiment(
             args.experiment,
             quick=resolve_mode(args) == "quick",
-            jobs=args.jobs,
+            jobs=resolve_jobs(args),
             cache_dir=args.cache_dir,
+            batch=args.batch,
         )
         print(output.render())
         if args.csv_dir:

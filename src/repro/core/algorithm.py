@@ -16,7 +16,7 @@ power).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,9 @@ from repro.core.optimizer import (
     DegradationSolution,
     solve_degradation,
     solve_degradation_batch,
+    solve_degradation_lanes,
 )
+from repro.errors import ConfigurationError
 
 #: Signature of the per-candidate inner solve.  The default is the
 #: global-budget Theorem 1 solve; the per-processor-budget extension
@@ -72,6 +74,20 @@ def _better(a: DegradationSolution, b: DegradationSolution, sb_a: float, sb_b: f
     return sb_a > sb_b
 
 
+def _select_best(
+    solutions: Sequence[DegradationSolution], candidates: np.ndarray
+) -> Tuple[DegradationSolution, int]:
+    """The exhaustive scan's selection rule over per-candidate solves."""
+    best_idx = 0
+    best = solutions[0]
+    for idx in range(1, len(solutions)):
+        sol = solutions[idx]
+        s_b = float(candidates[idx])
+        if _better(sol, best, s_b, float(candidates[best_idx])):
+            best, best_idx = sol, idx
+    return best, best_idx
+
+
 def exhaustive_sb(
     inputs: FastCapInputs, inner: InnerSolve = solve_degradation
 ) -> FastCapDecision:
@@ -91,13 +107,7 @@ def exhaustive_sb(
             inner(inputs, float(inputs.sb_candidates[idx]))
             for idx in range(inputs.n_candidates)
         ]
-    best_idx = 0
-    best = solutions[0]
-    for idx in range(1, inputs.n_candidates):
-        sol = solutions[idx]
-        s_b = float(inputs.sb_candidates[idx])
-        if _better(sol, best, s_b, float(inputs.sb_candidates[best_idx])):
-            best, best_idx = sol, idx
+    best, best_idx = _select_best(solutions, inputs.sb_candidates)
     return FastCapDecision(
         d=best.d,
         sb_index=best_idx,
@@ -109,45 +119,54 @@ def exhaustive_sb(
     )
 
 
-def binary_search_sb(
-    inputs: FastCapInputs, inner: InnerSolve = solve_degradation
-) -> FastCapDecision:
-    """Algorithm 1: binary search over the ordered s_b candidates.
+def _binary_search_steps(candidates: np.ndarray):
+    """Algorithm 1's binary search as a driver-agnostic generator.
+
+    Yields lists of candidate indices it needs evaluated (always
+    singletons — the search is adaptive) and receives the matching
+    :class:`DegradationSolution` list back via ``send``; returns the
+    :class:`FastCapDecision` through ``StopIteration``.  Both the
+    scalar driver (:func:`binary_search_sb`) and the fleet driver
+    (:func:`fleet_search_sb`) execute this one control flow, so the
+    probe sequence — and therefore the decision — cannot diverge
+    between them.
 
     Mirrors the paper's pseudo-code: evaluate the midpoint and its
     neighbours; move toward the rising side; stop at a local (= global,
     by quasi-concavity) maximum.
     """
-    candidates = inputs.sb_candidates
-    m_count = inputs.n_candidates
+    m_count = int(candidates.size)
     cache: dict = {}
     evaluations = 0
 
-    def eval_at(idx: int) -> DegradationSolution:
+    def eval_at(idx: int):
+        # Sub-generator: a cache miss yields the probe request upward
+        # (``yield from`` forwards it to whichever driver is running)
+        # and the solution comes back through ``send``.
         nonlocal evaluations
         if idx not in cache:
-            cache[idx] = inner(inputs, float(candidates[idx]))
+            cache[idx] = (yield [idx])[0]
             evaluations += 1
         return cache[idx]
 
     left, right = 0, m_count - 1
     while left != right:
         mid = (left + right) // 2
-        here = eval_at(mid)
+        here = yield from eval_at(mid)
         # Neighbour D values (clamped at the ends).
         if mid + 1 <= right:
-            up = eval_at(mid + 1)
+            up = yield from eval_at(mid + 1)
             if _better(up, here, float(candidates[mid + 1]), float(candidates[mid])):
                 left = mid + 1
                 continue
         if mid - 1 >= left:
-            down = eval_at(mid - 1)
+            down = yield from eval_at(mid - 1)
             if _better(down, here, float(candidates[mid - 1]), float(candidates[mid])):
                 right = mid - 1
                 continue
         left = right = mid
 
-    best = eval_at(left)
+    best = yield from eval_at(left)
     return FastCapDecision(
         d=best.d,
         sb_index=left,
@@ -157,3 +176,95 @@ def binary_search_sb(
         feasible=best.feasible,
         evaluations=evaluations,
     )
+
+
+def _exhaustive_steps(candidates: np.ndarray):
+    """The exhaustive scan in the same generator protocol.
+
+    Requests every candidate in one round (they all batch into a
+    single lock-step bisection) and applies the shared selection rule.
+    """
+    m_count = int(candidates.size)
+    solutions = yield list(range(m_count))
+    best, best_idx = _select_best(solutions, candidates)
+    return FastCapDecision(
+        d=best.d,
+        sb_index=best_idx,
+        s_b=float(candidates[best_idx]),
+        z=best.z,
+        predicted_power_w=best.power_w,
+        feasible=best.feasible,
+        evaluations=m_count,
+    )
+
+
+def binary_search_sb(
+    inputs: FastCapInputs, inner: InnerSolve = solve_degradation
+) -> FastCapDecision:
+    """Algorithm 1: binary search over the ordered s_b candidates.
+
+    Drives :func:`_binary_search_steps` with per-candidate ``inner``
+    solves; see the generator for the search itself.
+    """
+    candidates = inputs.sb_candidates
+    gen = _binary_search_steps(candidates)
+    response = None
+    while True:
+        try:
+            request = gen.send(response)
+        except StopIteration as stop:
+            return stop.value
+        response = [
+            inner(inputs, float(candidates[idx])) for idx in request
+        ]
+
+
+def fleet_search_sb(
+    jobs: Sequence[Tuple[FastCapInputs, str]],
+) -> List[FastCapDecision]:
+    """Run many lanes' Algorithm-1 searches with cross-lane batching.
+
+    ``jobs`` pairs each lane's :class:`FastCapInputs` with its search
+    mode (``"binary"`` or ``"exhaustive"``).  Every round, each
+    unfinished lane's search generator names the candidate indices it
+    needs next; all requested (lane, candidate) rows — across lanes
+    *and* candidates — go through one lock-step
+    :func:`~repro.core.optimizer.solve_degradation_lanes` bisection.
+    Binary searches probe adaptively, so they contribute one row per
+    round for O(log M) rounds; exhaustive scans contribute all M rows
+    in round one.  Per-lane decisions are bit-identical to the scalar
+    :func:`binary_search_sb` / :func:`exhaustive_sb` calls (same
+    control flow, same per-row solver trajectory).
+    """
+    searchers = []
+    for inputs, mode in jobs:
+        if mode == "binary":
+            searchers.append(_binary_search_steps(inputs.sb_candidates))
+        elif mode == "exhaustive":
+            searchers.append(_exhaustive_steps(inputs.sb_candidates))
+        else:
+            raise ConfigurationError(f"unknown search mode {mode!r}")
+
+    decisions: List[FastCapDecision] = [None] * len(jobs)  # type: ignore[list-item]
+    pending: dict = {}
+    responses: dict = {lane: None for lane in range(len(jobs))}
+    while responses:
+        pending.clear()
+        for lane in sorted(responses):
+            try:
+                pending[lane] = searchers[lane].send(responses[lane])
+            except StopIteration as stop:
+                decisions[lane] = stop.value
+        rows = [
+            (jobs[lane][0], idx)
+            for lane in sorted(pending)
+            for idx in pending[lane]
+        ]
+        solutions = solve_degradation_lanes(rows)
+        responses = {}
+        cursor = 0
+        for lane in sorted(pending):
+            count = len(pending[lane])
+            responses[lane] = solutions[cursor : cursor + count]
+            cursor += count
+    return decisions

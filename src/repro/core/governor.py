@@ -17,9 +17,14 @@ isolates what memory DVFS contributes.
 from __future__ import annotations
 
 from functools import partial
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.algorithm import FastCapDecision, binary_search_sb, exhaustive_sb
+from repro.core.algorithm import (
+    FastCapDecision,
+    binary_search_sb,
+    exhaustive_sb,
+    fleet_search_sb,
+)
 from repro.core.model import FastCapInputs
 from repro.core.optimizer import (
     ProcessorGroups,
@@ -85,3 +90,54 @@ class FastCapGovernor(ModelDrivenPolicy):
         return self.settings_from_z(
             inputs, decision.z, decision.sb_index, repair_quantization=self.repair
         )
+
+    def supports_fleet_decide(self) -> bool:
+        """True when this governor's decision can batch across lanes.
+
+        Only the per-processor-budget extension opts out: its grouped
+        inner solve is not expressed in the row-parallel bisection
+        kernel, so those lanes fall back to per-lane decisions.
+        """
+        return self._groups is None
+
+
+def decide_fastcap_fleet(
+    pairs: Sequence[Tuple[FastCapGovernor, EpochCounters]],
+) -> List[FrequencySettings]:
+    """One decision round for many FastCap lanes, batched.
+
+    The fleet twin of :meth:`FastCapGovernor.decide`: every lane's fit
+    update and input assembly runs per lane (they are cheap and own
+    per-lane state), then all lanes' Algorithm-1 searches advance
+    together through :func:`repro.core.algorithm.fleet_search_sb`, so
+    the Theorem-1 bisections — the decision loop's dominant cost —
+    run lock-step across lanes × candidates.  Per-lane settings are
+    bit-identical to calling ``decide`` on each lane alone.
+    """
+    staged = []
+    for governor, counters in pairs:
+        if not governor.supports_fleet_decide():
+            raise ConfigurationError(
+                "per-processor-budget governors cannot batch decisions"
+            )
+        governor._update_fits(counters)
+        inputs = governor.build_inputs(
+            counters, memory_dvfs=governor.uses_memory_dvfs
+        )
+        staged.append((governor, inputs))
+
+    decisions = fleet_search_sb(
+        [(inputs, governor._search) for governor, inputs in staged]
+    )
+    settings: List[FrequencySettings] = []
+    for (governor, inputs), decision in zip(staged, decisions):
+        governor.last_decision = decision
+        settings.append(
+            governor.settings_from_z(
+                inputs,
+                decision.z,
+                decision.sb_index,
+                repair_quantization=governor.repair,
+            )
+        )
+    return settings

@@ -24,7 +24,7 @@ the root solve).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -110,6 +110,74 @@ class BatchDegradationSolution:
         )
 
 
+def _solve_degradation_rows(
+    r: np.ndarray,
+    t_bar: np.ndarray,
+    z_min: np.ndarray,
+    z_max: np.ndarray,
+    cache: np.ndarray,
+    p_max: np.ndarray,
+    alpha: np.ndarray,
+    available: np.ndarray,
+    mem_power: np.ndarray,
+    static_w,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Row-parallel Theorem-1 bisection: the shared lockstep kernel.
+
+    Each row is one independent (inputs, s_b candidate) degradation
+    solve; ``r`` is ``(K, N)`` and every other per-core array may be
+    ``(N,)`` (shared across rows, the within-lane candidate batch) or
+    ``(K, N)`` (per-row, the cross-lane fleet batch) — broadcasting
+    keeps the float op sequence identical either way.  All K bisections
+    advance in lock-step with a per-row convergence freeze, following
+    the exact trajectory the scalar solver takes for each row, so every
+    row is bit-identical to the corresponding
+    :func:`solve_degradation` call.
+
+    Returns ``(achieved_d, z, power_w, feasible)`` row-wise.
+    """
+    k = int(r.shape[0])
+
+    def z_of_d(d: np.ndarray) -> np.ndarray:
+        """(K, N) clipped think times for per-row degradations."""
+        raw = t_bar / d[:, None] - cache - r
+        return np.clip(raw, z_min, z_max)
+
+    def cpu_power(d: np.ndarray) -> np.ndarray:
+        """(K,) predicted core dynamic power at per-row D."""
+        z = z_of_d(d)
+        ratios = z_min / np.maximum(z, 1e-300)
+        return np.sum(p_max * ratios**alpha, axis=1)
+
+    # Degradation floor: even at D -> 0 think times clip at z_max, so
+    # the meaningful lower end is where every core sits at its floor.
+    t_floor = (z_max + cache) + r  # (K, N)
+    d_floor = np.min(t_bar / t_floor, axis=1)
+    d_floor = np.minimum(np.maximum(d_floor, 1e-9), 1.0)
+
+    ones = np.ones(k)
+    infeasible = cpu_power(d_floor) > available  # pin the floor
+    slack = cpu_power(ones) <= available  # no degradation needed
+
+    lo = d_floor.copy()
+    hi = np.ones(k)
+    active = ~(infeasible | slack)
+    for _ in range(_MAX_BISECTIONS):
+        if not active.any():
+            break
+        mid = 0.5 * (lo + hi)
+        over = cpu_power(mid) > available
+        np.copyto(hi, mid, where=active & over)
+        np.copyto(lo, mid, where=active & ~over)
+        active &= ~((hi - lo) <= _D_TOL * hi)
+
+    d_instrument = np.where(infeasible, d_floor, np.where(slack, 1.0, lo))
+    z = z_of_d(d_instrument)
+    achieved = np.min(t_bar / (z + cache + r), axis=1)
+    power = cpu_power(d_instrument) + mem_power + static_w
+    return achieved, z, power, ~infeasible
+
+
 def solve_degradation_batch(
     inputs: FastCapInputs,
     sb_candidates: Optional[np.ndarray] = None,
@@ -128,7 +196,6 @@ def solve_degradation_batch(
         if sb_candidates is None
         else np.asarray(sb_candidates, dtype=float)
     )
-    m = int(sb.size)
     r = inputs.response.per_core_batch(sb)  # (M, N)
     t_bar = inputs.best_turnaround_s()  # (N,)
     mem_power = np.array(
@@ -136,56 +203,94 @@ def solve_degradation_batch(
     )  # (M,)
     available = inputs.budget_w - inputs.static_power_w - mem_power  # (M,)
 
-    z_min = inputs.z_min
-    z_max = inputs.z_max
-    cache = inputs.cache
-    p_max = inputs.core_p_max
-    alpha = inputs.core_alpha
-
-    def z_of_d(d: np.ndarray) -> np.ndarray:
-        """(M, N) clipped think times for per-candidate degradations."""
-        raw = t_bar / d[:, None] - cache - r
-        return np.clip(raw, z_min, z_max)
-
-    def cpu_power(d: np.ndarray) -> np.ndarray:
-        """(M,) predicted core dynamic power at per-candidate D."""
-        z = z_of_d(d)
-        ratios = z_min / np.maximum(z, 1e-300)
-        return np.sum(p_max * ratios**alpha, axis=1)
-
-    # Degradation floor: even at D -> 0 think times clip at z_max, so
-    # the meaningful lower end is where every core sits at its floor.
-    t_floor = (z_max + cache) + r  # (M, N)
-    d_floor = np.min(t_bar / t_floor, axis=1)
-    d_floor = np.minimum(np.maximum(d_floor, 1e-9), 1.0)
-
-    ones = np.ones(m)
-    infeasible = cpu_power(d_floor) > available  # pin the floor
-    slack = cpu_power(ones) <= available  # no degradation needed
-
-    lo = d_floor.copy()
-    hi = np.ones(m)
-    active = ~(infeasible | slack)
-    for _ in range(_MAX_BISECTIONS):
-        if not active.any():
-            break
-        mid = 0.5 * (lo + hi)
-        over = cpu_power(mid) > available
-        np.copyto(hi, mid, where=active & over)
-        np.copyto(lo, mid, where=active & ~over)
-        active &= ~((hi - lo) <= _D_TOL * hi)
-
-    d_instrument = np.where(infeasible, d_floor, np.where(slack, 1.0, lo))
-    z = z_of_d(d_instrument)
-    achieved = np.min(t_bar / (z + cache + r), axis=1)
-    power = cpu_power(d_instrument) + mem_power + inputs.static_power_w
+    achieved, z, power, feasible = _solve_degradation_rows(
+        r=r,
+        t_bar=t_bar,
+        z_min=inputs.z_min,
+        z_max=inputs.z_max,
+        cache=inputs.cache,
+        p_max=inputs.core_p_max,
+        alpha=inputs.core_alpha,
+        available=available,
+        mem_power=mem_power,
+        static_w=inputs.static_power_w,
+    )
     return BatchDegradationSolution(
         sb=sb,
         d=achieved,
         z=z,
         power_w=power,
-        feasible=~infeasible,
+        feasible=feasible,
     )
+
+
+def solve_degradation_lanes(
+    rows: "Sequence[Tuple[FastCapInputs, int]]",
+) -> "List[DegradationSolution]":
+    """Theorem-1 solves for many (inputs, candidate-index) rows at once.
+
+    This is the fleet form of :func:`solve_degradation_batch`: each row
+    carries its *own* inputs (its lane's counters, fitted power models
+    and budget), so R runs' decision solves — lanes × candidates —
+    advance through one lock-step bisection.  Row ``j`` is
+    bit-identical to
+    ``solve_degradation(rows[j][0], rows[j][0].sb_candidates[rows[j][1]])``.
+
+    All rows must share the core count (fleet lanes do by
+    construction).
+    """
+    if not rows:
+        return []
+    n = rows[0][0].n_cores
+    k = len(rows)
+    r = np.empty((k, n))
+    t_bar = np.empty((k, n))
+    z_min = np.empty((k, n))
+    z_max = np.empty((k, n))
+    cache = np.empty((k, n))
+    p_max = np.empty((k, n))
+    alpha = np.empty((k, n))
+    available = np.empty(k)
+    mem_power = np.empty(k)
+    static_w = np.empty(k)
+    for j, (inputs, idx) in enumerate(rows):
+        if inputs.n_cores != n:
+            raise ModelError(
+                "all rows of a lane batch must share the core count"
+            )
+        s_b = float(inputs.sb_candidates[idx])
+        r[j] = inputs.response.per_core(s_b)
+        t_bar[j] = inputs.best_turnaround_s()
+        z_min[j] = inputs.z_min
+        z_max[j] = inputs.z_max
+        cache[j] = inputs.cache
+        p_max[j] = inputs.core_p_max
+        alpha[j] = inputs.core_alpha
+        mem_power[j] = inputs.memory_dynamic_power_w(s_b)
+        available[j] = inputs.budget_w - inputs.static_power_w - mem_power[j]
+        static_w[j] = inputs.static_power_w
+
+    achieved, z, power, feasible = _solve_degradation_rows(
+        r=r,
+        t_bar=t_bar,
+        z_min=z_min,
+        z_max=z_max,
+        cache=cache,
+        p_max=p_max,
+        alpha=alpha,
+        available=available,
+        mem_power=mem_power,
+        static_w=static_w,
+    )
+    return [
+        DegradationSolution(
+            d=float(achieved[j]),
+            z=z[j].copy(),
+            power_w=float(power[j]),
+            feasible=bool(feasible[j]),
+        )
+        for j in range(k)
+    ]
 
 
 def solve_degradation(inputs: FastCapInputs, s_b: float) -> DegradationSolution:

@@ -8,6 +8,8 @@ FastCap's.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
@@ -21,11 +23,23 @@ N_CORES = 64
 POLICIES = ("fastcap", "eql-freq")
 
 
-def campaign() -> Campaign:
-    """The full spec grid this figure runs."""
+def campaign(
+    workloads: Optional[Sequence[str]] = None, n_cores: int = N_CORES
+) -> Campaign:
+    """The spec grid this figure runs (64-core MIX class by default).
+
+    ``workloads`` and ``n_cores`` narrow/scale the grid — the quick
+    path used by the fleet benchmark (64-core lanes are where lockstep
+    batching has the most numpy dispatch to amortise).
+    """
     return Campaign.grid(
-        "fig10", workloads=MIX_CLASSES[WorkloadClass.MIX], policies=POLICIES,
-        budgets=(BUDGET,), n_cores=N_CORES,
+        "fig10",
+        workloads=tuple(
+            MIX_CLASSES[WorkloadClass.MIX] if workloads is None else workloads
+        ),
+        policies=POLICIES,
+        budgets=(BUDGET,),
+        n_cores=n_cores,
     )
 
 

@@ -11,6 +11,8 @@ slower than its average on heterogeneous mixes.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from repro.campaign import Campaign, RunSpec
 from repro.experiments.registry import register
 from repro.experiments.report import ExperimentOutput, Table
@@ -23,10 +25,17 @@ BUDGET = 0.60
 POLICIES = ("fastcap", "cpu-only", "freq-par", "eql-pwr")
 
 
-def campaign() -> Campaign:
-    """The full spec grid this figure runs."""
+def campaign(workloads: Optional[Sequence[str]] = None) -> Campaign:
+    """The spec grid this figure runs (all mixes by default).
+
+    ``workloads`` narrows the grid — the quick path used by the fleet
+    benchmark and by ad-hoc sweeps that only need a policy comparison
+    on a few mixes; every spec keeps the figure's budget and policies.
+    """
     return Campaign.grid(
-        "fig9", workloads=tuple(ALL_MIXES), policies=POLICIES,
+        "fig9",
+        workloads=tuple(ALL_MIXES if workloads is None else workloads),
+        policies=POLICIES,
         budgets=(BUDGET,),
     )
 

@@ -49,7 +49,11 @@ def campaign() -> Campaign:
     return Campaign("overhead", specs)
 
 
-@register("overhead", "Algorithm overhead and epoch-length study (§IV-B)")
+@register(
+    "overhead",
+    "Algorithm overhead and epoch-length study (§IV-B)",
+    timing_sensitive=True,
+)
 def run(runner: ExperimentRunner) -> ExperimentOutput:
     results = runner.run_campaign(campaign())
     cost_rows = []

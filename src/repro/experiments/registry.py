@@ -19,18 +19,29 @@ class ExperimentSpec:
     experiment_id: str
     title: str
     fn: RunnerFn
+    #: True for experiments whose *output* is measured decision wall
+    #: time (table1, overhead).  Those latencies are only meaningful
+    #: from an unloaded, per-governor decision path, so the registry
+    #: forces a serial scalar runner for them: parallel workers contend
+    #: for cores and fleet mode amortises one batched decision across
+    #: lanes — both silently inflate/deflate the reported µs.
+    timing_sensitive: bool = False
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {}
 
 
-def register(experiment_id: str, title: str) -> Callable[[RunnerFn], RunnerFn]:
+def register(
+    experiment_id: str, title: str, timing_sensitive: bool = False
+) -> Callable[[RunnerFn], RunnerFn]:
     """Decorator registering an experiment module's entry point."""
 
     def wrap(fn: RunnerFn) -> RunnerFn:
         if experiment_id in EXPERIMENTS:
             raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
-        EXPERIMENTS[experiment_id] = ExperimentSpec(experiment_id, title, fn)
+        EXPERIMENTS[experiment_id] = ExperimentSpec(
+            experiment_id, title, fn, timing_sensitive
+        )
         return fn
 
     return wrap
@@ -47,12 +58,14 @@ def run_experiment(
     runner: ExperimentRunner = None,
     jobs: int = 1,
     cache_dir: str = None,
+    batch: str = "scalar",
 ) -> ExperimentOutput:
     """Run one experiment by id and return its output.
 
-    ``jobs`` and ``cache_dir`` configure the campaign runner's
-    parallel fan-out and persistent result cache; both are ignored
-    when an explicit ``runner`` is passed.
+    ``jobs``, ``cache_dir`` and ``batch`` configure the campaign
+    runner's parallel fan-out, persistent result cache and cache-miss
+    batching strategy (``"fleet"`` advances shape-compatible specs in
+    lockstep); all are ignored when an explicit ``runner`` is passed.
     """
     try:
         spec = EXPERIMENTS[experiment_id]
@@ -61,5 +74,12 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; known: {list_experiments()}"
         ) from None
     if runner is None:
-        runner = ExperimentRunner(quick=quick, jobs=jobs, cache_dir=cache_dir)
+        if spec.timing_sensitive:
+            # Decision-latency reproductions: contention from parallel
+            # workers and fleet-amortised decisions would corrupt the
+            # measured µs, so these always run serial + scalar.
+            jobs, batch = 1, "scalar"
+        runner = ExperimentRunner(
+            quick=quick, jobs=jobs, cache_dir=cache_dir, batch=batch
+        )
     return spec.fn(runner)

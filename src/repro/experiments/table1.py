@@ -59,7 +59,7 @@ def _mean_decision_us(
     return results[_spec(policy, n_cores)].mean_decision_time_s() * 1e6
 
 
-@register("table1", "Decision-cost comparison (Table I)")
+@register("table1", "Decision-cost comparison (Table I)", timing_sensitive=True)
 def run(runner: ExperimentRunner) -> ExperimentOutput:
     results = runner.run_campaign(campaign())
     rows = []

@@ -13,9 +13,16 @@ Two solvers are provided:
   fixed point, the simulator's fast path;
 * :mod:`repro.queueing.eventsim` — a discrete-event simulation of the
   same network, used to validate the AMVA approximation.
+
+:mod:`repro.queueing.fleet` layers cross-run batching on top of the
+MVA path: R same-shape networks stack into ``(R, n, B)`` tensors
+(:meth:`NetworkArrays.stack`) and solve in lockstep with per-lane
+convergence masks (:class:`FleetSolver`), bit-identical per lane to
+the scalar solver.
 """
 
 from repro.queueing.arrays import NetworkArrays
+from repro.queueing.fleet import FleetArrays, FleetSolver
 from repro.queueing.network import (
     BackgroundFlow,
     ControllerSpec,
@@ -29,6 +36,8 @@ __all__ = [
     "BackgroundFlow",
     "ControllerSpec",
     "EventSimResult",
+    "FleetArrays",
+    "FleetSolver",
     "JobClassSpec",
     "MVASolution",
     "MVASolver",

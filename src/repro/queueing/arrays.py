@@ -160,6 +160,20 @@ class NetworkArrays:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def stack(lanes: Sequence["NetworkArrays"]):
+        """Stack same-shape networks into a :class:`~repro.queueing.fleet.FleetArrays`.
+
+        The fleet form holds ``(R, n)``, ``(R, n, B)`` and ``(R, M)``
+        tensors over the lanes and is what
+        :class:`~repro.queueing.fleet.FleetSolver` consumes to run the
+        AMVA fixed point in lockstep across independent runs.
+        """
+        from repro.queueing.fleet import FleetArrays
+
+        return FleetArrays(lanes)
+
+    # ------------------------------------------------------------------
     @property
     def total_population(self) -> float:
         return float(self.population.sum())

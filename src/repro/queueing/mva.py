@@ -159,7 +159,64 @@ class MVASolver:
         ``tolerance`` within ``max_iterations``.
         """
         a = self.arrays
-        n = a.n_classes
+        routing = a.routing
+        bank_service = a.bank_service
+        bus_transfer = a.bus_transfer
+        population = a.population
+        think = a.think_s
+
+        x = self._x
+        if initial_throughput is not None:
+            x[...] = np.asarray(initial_throughput, dtype=float)
+        else:
+            x[...] = population / (
+                think + bank_service.mean() + bus_transfer.mean()
+            )
+
+        # Initialise queue estimates consistently with the starting
+        # throughputs (Little's law with bare service times), so warm
+        # starts actually shorten convergence.
+        r_bank = self._r_bank
+        r_bank[...] = bank_service
+        q = self._q
+        x2 = self._x2
+        x2_flat = self._x2_flat
+        x2_flat[...] = x
+        np.multiply(x2, routing, out=q)
+        np.multiply(q, r_bank, out=q)
+
+        iteration = self._fixed_point(
+            first_iteration=1,
+            current_damping=damping,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
+        return self._snapshot(self._x, self._q, self._r_bank, iteration)
+
+    # ------------------------------------------------------------------
+    def _fixed_point(
+        self,
+        first_iteration: int,
+        current_damping: float,
+        max_iterations: int,
+        tolerance: float,
+    ) -> int:
+        """Advance the damped fixed point from the current state.
+
+        Iterates on ``self._x`` / ``self._q`` (the complete
+        cross-iteration state) from ``first_iteration`` until
+        convergence, leaving the final bank responses in
+        ``self._r_bank``; returns the converged (1-based) iteration
+        index.  :meth:`solve` enters here after initialising the state;
+        the fleet solver enters mid-flight to finish straggler lanes
+        one-by-one after the lockstep batch has drained — the
+        trajectory (and therefore the result) is bit-identical either
+        way because an iteration reads nothing but ``x``, ``q``, the
+        iteration counter and the damping state.
+
+        Raises :class:`ConvergenceError` past ``max_iterations``.
+        """
+        a = self.arrays
         n_ctrl = a.n_controllers
         routing = a.routing
         bank_service = a.bank_service
@@ -182,24 +239,10 @@ class MVASolver:
         cap0 = float(pop_wait_cap[0])
 
         x = self._x
-        if initial_throughput is not None:
-            x[...] = np.asarray(initial_throughput, dtype=float)
-        else:
-            x[...] = population / (
-                think + bank_service.mean() + bus_transfer.mean()
-            )
-
-        # Initialise queue estimates consistently with the starting
-        # throughputs (Little's law with bare service times), so warm
-        # starts actually shorten convergence.
-        r_bank = self._r_bank
-        r_bank[...] = bank_service
         q = self._q
+        r_bank = self._r_bank
         x2 = self._x2
         x2_flat = self._x2_flat
-        x2_flat[...] = x
-        np.multiply(x2, routing, out=q)
-        np.multiply(q, r_bank, out=q)
 
         # Local aliases: the loop below is the hottest code in the
         # repository; attribute lookups are hoisted deliberately.
@@ -216,9 +259,8 @@ class MVASolver:
         pop_col = self._pop_col
 
         last_rel_change = np.inf
-        current_damping = damping
         retained = 1.0 - current_damping
-        for iteration in range(1, max_iterations + 1):
+        for iteration in range(first_iteration, max_iterations + 1):
             # Heavily congested points can make the plain fixed point
             # oscillate; progressively stronger damping always settles it.
             if iteration % 300 == 0:
@@ -313,8 +355,43 @@ class MVASolver:
             )
         # Keep the double buffers consistent for the next solve.
         self._r_bank, self._r_bank_alt = r_bank, r_bank_new
+        return iteration
 
-        return self._snapshot(x, q, r_bank, iteration)
+    # ------------------------------------------------------------------
+    @classmethod
+    def solve_fleet(
+        cls,
+        lanes,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-10,
+        damping: float = 0.5,
+        initial_throughput: Optional[np.ndarray] = None,
+    ):
+        """Solve R same-shape networks in one lockstep batched run.
+
+        ``lanes`` is a sequence of :class:`MVASolver`,
+        :class:`NetworkArrays` or :class:`QueueingNetwork` values; the
+        returned list holds one :class:`MVASolution` per lane, each
+        bit-identical to what :meth:`solve` would produce for that lane
+        alone.  Hot loops that solve the same fleet repeatedly should
+        hold a :class:`~repro.queueing.fleet.FleetSolver` instead of
+        calling this convenience wrapper (it rebuilds the stacked
+        tensors on every call).
+        """
+        from repro.queueing.fleet import FleetSolver
+
+        resolved = [
+            lane
+            if isinstance(lane, (cls, NetworkArrays))
+            else NetworkArrays.from_network(lane)
+            for lane in lanes
+        ]
+        return FleetSolver(resolved).solve(
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            damping=damping,
+            initial_throughput=initial_throughput,
+        )
 
     # ------------------------------------------------------------------
     def _snapshot(

@@ -1,0 +1,127 @@
+"""CampaignRunner(batch="fleet"): grouping, caching and fan-out.
+
+Fleet mode must be an invisible optimisation: identical results to the
+scalar path (byte-for-byte on deterministic specs), identical cache
+behaviour, and clean composition with ``jobs=N`` and quick-mode
+scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import Campaign, CampaignRunner, RunSpec
+from repro.errors import ConfigurationError
+
+from tests.golden_grid import result_content_hash
+
+
+def _campaign(**overrides) -> Campaign:
+    base = dict(max_epochs=3, instruction_quota=None,
+                record_decision_time=False, n_cores=4, seed=3)
+    base.update(overrides)
+    return Campaign.grid(
+        "fleet-test",
+        workloads=("MIX1", "MEM2", "ILP1"),
+        policies=("fastcap", "cpu-only"),
+        budgets=(0.6,),
+        **base,
+    )
+
+
+class TestFleetCampaign:
+    def test_fleet_results_byte_identical_to_scalar(self):
+        campaign = _campaign()
+        scalar = CampaignRunner().run_campaign(campaign, include_baselines=True)
+        runner = CampaignRunner(batch="fleet")
+        fleet = runner.run_campaign(campaign, include_baselines=True)
+        assert runner.fleet_runs > 0
+        for spec in campaign:
+            assert result_content_hash(scalar[spec]) == result_content_hash(
+                fleet[spec]
+            )
+            assert result_content_hash(
+                scalar.baseline(spec)
+            ) == result_content_hash(fleet.baseline(spec))
+
+    def test_fleet_width_chunks_groups(self):
+        campaign = _campaign()
+        runner = CampaignRunner(batch="fleet", fleet_width=2)
+        misses = [(i, spec) for i, spec in enumerate(campaign.specs)]
+        units = runner._fleet_units(misses)
+        assert all(len(unit) <= 2 for unit in units)
+        assert sum(len(unit) for unit in units) == len(campaign)
+        results = runner.run_campaign(campaign)
+        scalar = CampaignRunner().run_campaign(campaign)
+        for spec in campaign:
+            assert result_content_hash(results[spec]) == result_content_hash(
+                scalar[spec]
+            )
+
+    def test_mixed_shapes_group_separately(self):
+        """Specs with different core counts never share a fleet."""
+        small = _campaign()
+        wide = Campaign.grid(
+            "wide", workloads=("MIX2",), policies=("fastcap",),
+            budgets=(0.6,), n_cores=16, max_epochs=2,
+            instruction_quota=None, record_decision_time=False, seed=3,
+        )
+        campaign = Campaign("mixed", list(small) + list(wide))
+        runner = CampaignRunner(batch="fleet")
+        misses = [(i, spec) for i, spec in enumerate(campaign.specs)]
+        units = runner._fleet_units(misses)
+        for unit in units:
+            shapes = {(s.n_cores, s.n_controllers) for _, s in unit}
+            assert len(shapes) == 1
+        fleet = runner.run_campaign(campaign)
+        scalar = CampaignRunner().run_campaign(campaign)
+        for spec in campaign:
+            assert result_content_hash(fleet[spec]) == result_content_hash(
+                scalar[spec]
+            )
+
+    def test_fleet_composes_with_jobs(self):
+        """jobs=2 + batch=fleet: units fan out, results unchanged."""
+        campaign = _campaign()
+        parallel = CampaignRunner(batch="fleet", jobs=2, fleet_width=3)
+        fleet = parallel.run_campaign(campaign)
+        scalar = CampaignRunner().run_campaign(campaign)
+        assert parallel.runs_executed == len(campaign)
+        for spec in campaign:
+            assert result_content_hash(fleet[spec]) == result_content_hash(
+                scalar[spec]
+            )
+
+    def test_fleet_hits_shared_cache(self, tmp_path):
+        """A cache warmed by fleet mode serves scalar mode and back."""
+        campaign = _campaign()
+        warm = CampaignRunner(batch="fleet", cache_dir=str(tmp_path))
+        warm.run_campaign(campaign)
+        assert warm.runs_executed == len(campaign)
+        replay = CampaignRunner(batch="scalar", cache_dir=str(tmp_path))
+        replay.run_campaign(campaign)
+        assert replay.runs_executed == 0
+        assert replay.cache_hits == len(campaign)
+
+    def test_unknown_batch_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(batch="warp")
+
+    def test_eventsim_specs_join_fleets(self):
+        """Lanes of any engine batch — the event-driven overlay runs
+        inside the lane generator either way."""
+        specs = [
+            RunSpec(workload="MIX1", policy="fastcap", budget_fraction=0.6,
+                    n_cores=4, max_epochs=2, instruction_quota=None,
+                    seed=3, record_decision_time=False, engine="eventsim"),
+            RunSpec(workload="MEM2", policy="fastcap", budget_fraction=0.6,
+                    n_cores=4, max_epochs=2, instruction_quota=None,
+                    seed=3, record_decision_time=False),
+        ]
+        campaign = Campaign("engines", specs)
+        fleet = CampaignRunner(batch="fleet").run_campaign(campaign)
+        scalar = CampaignRunner().run_campaign(campaign)
+        for spec in specs:
+            assert result_content_hash(fleet[spec]) == result_content_hash(
+                scalar[spec]
+            )

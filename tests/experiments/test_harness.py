@@ -13,6 +13,57 @@ from repro.experiments import (
 from repro.experiments.report import ExperimentOutput, Series, Table, series_from_arrays
 
 
+class TestTimingSensitiveExperiments:
+    """table1/overhead report measured decision wall times; the
+    registry must force a serial scalar runner for them no matter what
+    fan-out/batching the caller asked for."""
+
+    def test_decision_latency_experiments_are_flagged(self):
+        for experiment_id in ("table1", "overhead"):
+            assert EXPERIMENTS[experiment_id].timing_sensitive
+        assert not EXPERIMENTS["fig9"].timing_sensitive
+
+    def test_flag_forces_serial_scalar_runner(self, monkeypatch):
+        from repro.experiments import registry
+
+        captured = {}
+
+        def probe(runner):
+            captured["jobs"] = runner.jobs
+            captured["batch"] = runner.batch
+            return ExperimentOutput("probe", "probe")
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "probe-timing",
+            registry.ExperimentSpec(
+                "probe-timing", "probe", probe, timing_sensitive=True
+            ),
+        )
+        run_experiment("probe-timing", jobs=8, batch="fleet")
+        assert captured == {"jobs": 1, "batch": "scalar"}
+
+    def test_explicit_runner_is_respected(self, monkeypatch):
+        """An explicit runner bypasses the guard (caller's choice)."""
+        from repro.experiments import registry
+
+        captured = {}
+
+        def probe(runner):
+            captured["jobs"] = runner.jobs
+            return ExperimentOutput("probe", "probe")
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "probe-timing2",
+            registry.ExperimentSpec(
+                "probe-timing2", "probe", probe, timing_sensitive=True
+            ),
+        )
+        run_experiment("probe-timing2", runner=ExperimentRunner(jobs=4))
+        assert captured == {"jobs": 4}
+
+
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         expected = {

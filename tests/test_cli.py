@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main, resolve_mode
+from repro.cli import (
+    build_parser,
+    build_runner,
+    default_jobs,
+    main,
+    resolve_jobs,
+    resolve_mode,
+)
 
 
 class TestParser:
@@ -52,6 +59,49 @@ class TestParser:
     def test_batch_takes_file(self):
         args = build_parser().parse_args(["batch", "campaign.json"])
         assert args.campaign_file == "campaign.json"
+
+    def test_batch_mode_flag(self):
+        args = build_parser().parse_args(["sweep", "--batch", "fleet"])
+        assert args.batch == "fleet"
+        assert build_parser().parse_args(["sweep"]).batch == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--batch", "warp"])
+
+
+class TestJobsDefault:
+    """Regression for the ROADMAP follow-up: multi-spec figure commands
+    must default to parallel fan-out instead of the historical serial
+    ``--jobs 1``."""
+
+    def test_sweep_defaults_jobs_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs is None  # flag omitted
+        assert resolve_jobs(args) == 4
+
+    def test_default_jobs_is_capped(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 128)
+        assert default_jobs() == 8
+
+    def test_explicit_jobs_wins(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        args = build_parser().parse_args(["sweep", "--jobs", "1"])
+        assert resolve_jobs(args) == 1
+
+    def test_run_command_resolves_jobs_too(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 3)
+        args = build_parser().parse_args(["run", "fig9"])
+        assert resolve_jobs(args) == 3
+
+    def test_sweep_runner_carries_resolved_flags(self, monkeypatch):
+        """The sweep subcommand's runner gets the per-CPU jobs default
+        and the requested batch mode."""
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        args = build_parser().parse_args(["sweep", "--batch", "fleet"])
+        runner = build_runner(args)
+        assert runner.jobs == 2
+        assert runner.batch == "fleet"
+        assert runner.quick  # default mode
 
 
 class TestResolveMode:

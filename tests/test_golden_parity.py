@@ -218,6 +218,26 @@ class TestGoldenGridHashes:
                 mismatched.append((spec.policy, spec.workload, spec.budget_fraction))
         assert not mismatched, f"content hashes drifted: {mismatched}"
 
+    def test_fleet_campaign_byte_identical_to_seed_fixture(self):
+        """The fleet lane of the gate: ``run_campaign(batch="fleet")``
+        over the same 61-run grid — lockstep batched solves, per-lane
+        convergence masks, batched FastCap decisions — reproduces the
+        PR2 fixture hashes byte for byte.  This is the gate fleet mode
+        had to pass before becoming selectable."""
+        from tests.golden_grid import run_grid_fleet
+
+        fixture_path = pathlib.Path(__file__).parent / GOLDEN_FIXTURE
+        fixture = json.loads(fixture_path.read_text())
+        hashes = run_grid_fleet()
+        assert len(hashes) == len(fixture)
+        mismatched = [
+            key for key, value in hashes.items() if fixture.get(key) != value
+        ]
+        assert not mismatched, (
+            f"fleet content hashes drifted on {len(mismatched)} specs: "
+            f"{mismatched[:3]}"
+        )
+
 
 class TestVectorisedAccountingParity:
     """The batch power paths must track their scalar twins exactly —
