@@ -158,6 +158,7 @@ def main() -> None:
     )
 
     payload = {
+        "schema_version": 1,
         "pr": 2,
         "baseline_commit": baseline.get("captured_at_commit"),
         "python": platform.python_version(),

@@ -201,6 +201,7 @@ def main() -> None:
     )
 
     payload = {
+        "schema_version": 1,
         "pr": 5,
         "python": platform.python_version(),
         "machine": platform.machine(),

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Service-loop throughput: epochs/second through the full control
+plane (ASGI dispatch + session lockstep + telemetry), in process.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/run_service_bench.py \
+        [--quick] [--out BENCH_SERVICE.json]
+
+Measures the end-to-end cost an operator pays per simulated epoch when
+driving the control plane, for a scalar session and a 4-lane fleet
+session, and reports the overhead over driving ``ServerSimulator.run``
+directly (the batch path with none of the service machinery).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro.campaign.runner import config_for_spec
+from repro.campaign.spec import RunSpec
+from repro.policies.registry import make_policy
+from repro.service import create_app
+from repro.service.asgi import InProcessClient
+from repro.sim.server import ServerSimulator
+from repro.workloads import get_workload
+
+SESSION = {
+    "workload": "MIX1",
+    "n_cores": 4,
+    "budget_fraction": 0.5,
+    "seed": 3,
+}
+
+
+def bench_service(client, epochs: int, lanes=None) -> float:
+    body = dict(SESSION)
+    if lanes is not None:
+        body["lanes"] = lanes
+    sid = client.post("/sessions", json=body).json()["id"]
+    client.post(f"/sessions/{sid}/step", json={"epochs": 1})  # warm up
+    t0 = time.perf_counter()
+    client.post(f"/sessions/{sid}/step", json={"epochs": epochs})
+    elapsed = time.perf_counter() - t0
+    client.delete(f"/sessions/{sid}")
+    return elapsed
+
+
+def bench_batch(epochs: int) -> float:
+    spec = RunSpec(
+        workload=SESSION["workload"],
+        policy="fastcap",
+        budget_fraction=SESSION["budget_fraction"],
+        n_cores=SESSION["n_cores"],
+        seed=SESSION["seed"],
+    )
+    sim = ServerSimulator(
+        config_for_spec(spec), get_workload(spec.workload), seed=spec.seed
+    )
+    policy = make_policy("fastcap")
+    t0 = time.perf_counter()
+    sim.run(
+        policy,
+        spec.budget_fraction,
+        instruction_quota=None,
+        max_epochs=epochs,
+        measure_decision_time=False,
+    )
+    return time.perf_counter() - t0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default="BENCH_SERVICE.json")
+    args = parser.parse_args()
+    epochs = 50 if args.quick else 300
+
+    with InProcessClient(create_app()) as client:
+        scalar_s = bench_service(client, epochs)
+        fleet_s = bench_service(
+            client,
+            epochs,
+            lanes=[{"workload": w} for w in ("MIX1", "MIX2", "MEM1", "ILP1")],
+        )
+    batch_s = bench_batch(epochs)
+
+    results = {
+        "scalar_session": {
+            "epochs": epochs,
+            "seconds": scalar_s,
+            "epochs_per_s": epochs / scalar_s,
+        },
+        "fleet_session_4_lanes": {
+            "epochs": epochs,
+            "lane_epochs": 4 * epochs,
+            "seconds": fleet_s,
+            "lane_epochs_per_s": 4 * epochs / fleet_s,
+        },
+        "batch_reference": {
+            "epochs": epochs,
+            "seconds": batch_s,
+            "epochs_per_s": epochs / batch_s,
+        },
+        "service_overhead_x": scalar_s / batch_s,
+    }
+
+    payload = {
+        "schema_version": 1,
+        "bench": "service",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "results": results,
+        "notes": (
+            "Scalar and fleet sessions run the full control plane "
+            "in-process (ASGI router, session lockstep driver, fault "
+            "and phase hooks, telemetry ring); the batch reference "
+            "drives ServerSimulator.run directly on the same spec. "
+            "The overhead factor is the price of epoch-granular live "
+            "control."
+        ),
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    for name, row in sorted(results.items()):
+        print(f"  {name}: {row}")
+
+
+if __name__ == "__main__":
+    main()

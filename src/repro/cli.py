@@ -198,6 +198,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mode_arguments(batch_p)
     _add_campaign_arguments(batch_p)
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the live control-plane service (see README: Service mode)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8577, help="bind port (default 8577)"
+    )
+    serve_p.add_argument(
+        "--no-uvicorn",
+        action="store_true",
+        help="force the builtin stdlib HTTP bridge even if uvicorn "
+        "is installed",
+    )
+
     return parser
 
 
@@ -278,6 +295,31 @@ def _run_campaign_command(campaign, args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    """Serve the control plane: uvicorn when available, stdlib otherwise."""
+    from repro.service import create_app
+
+    app = create_app()
+    if not args.no_uvicorn:
+        try:
+            import uvicorn
+        except ImportError:
+            pass
+        else:
+            uvicorn.run(app, host=args.host, port=args.port, log_level="info")
+            return 0
+
+    import asyncio
+
+    from repro.service.http import serve_forever
+
+    try:
+        asyncio.run(serve_forever(app, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _dispatch(build_parser().parse_args(argv))
@@ -348,6 +390,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         with open(args.campaign_file) as handle:
             campaign = Campaign.from_json(handle.read())
         return _run_campaign_command(campaign, args)
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")
 

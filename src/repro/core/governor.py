@@ -91,6 +91,25 @@ class FastCapGovernor(ModelDrivenPolicy):
             inputs, decision.z, decision.sb_index, repair_quantization=self.repair
         )
 
+    def set_processor_groups(
+        self, groups: Optional[ProcessorGroups]
+    ) -> None:
+        """Install (or clear) per-processor budgets on a live governor.
+
+        The service layer's live budget endpoint uses this to layer
+        socket caps onto a running FastCap instance; the next decision
+        picks them up.  ``None`` removes the socket constraints.
+        """
+        if (
+            groups is not None
+            and self._view is not None
+            and groups.membership.size != self.view.config.n_cores
+        ):
+            raise ConfigurationError(
+                "processor_groups membership must cover every core"
+            )
+        self._groups = groups
+
     def supports_fleet_decide(self) -> bool:
         """True when this governor's decision can batch across lanes.
 

@@ -62,6 +62,20 @@ class ModelDrivenPolicy:
             alpha_bounds=(0.3, 2.5),
         )
 
+    def update_budget(self, view: SystemView) -> None:
+        """Adopt a new budget mid-run without resetting the power fits.
+
+        The live service layer adjusts budgets while a run is in
+        flight; re-running :meth:`initialize` would discard the online
+        power models learned so far and force the policy back onto its
+        priors for several epochs.  Only the view (budget, static
+        estimates) is swapped; everything fitted survives.
+        """
+        if self._view is None:  # never initialized: fall back
+            self.initialize(view)
+            return
+        self._view = view
+
     # ------------------------------------------------------------------
     def _update_fits(self, counters: EpochCounters) -> None:
         view = self.view

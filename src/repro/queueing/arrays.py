@@ -55,6 +55,8 @@ class NetworkArrays:
         "_visit",
         "_ctrl_bank_index",
         "_version",
+        "_bank_scale",
+        "_bus_scale",
     )
 
     def __init__(
@@ -133,6 +135,11 @@ class NetworkArrays:
         self._visit = visit
         #: Bumped on every `update`; lets solvers cache derived state.
         self._version = 0
+        # Fault-injection multipliers (see `set_service_scale`): None
+        # means "no fault active" and keeps `update` on the exact seed
+        # code path, so healthy networks stay bit-identical.
+        self._bank_scale: Optional[np.ndarray] = None
+        self._bus_scale: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -193,6 +200,51 @@ class NetworkArrays:
         return bool(np.any(self.bg_rates > 0))
 
     # ------------------------------------------------------------------
+    def set_service_scale(
+        self,
+        bank_scale: Optional[Union[float, np.ndarray]] = None,
+        bus_scale: Optional[Union[float, np.ndarray]] = None,
+    ) -> "NetworkArrays":
+        """Install persistent service-time multipliers (fault injection).
+
+        ``bank_scale`` multiplies the per-bank service time and
+        ``bus_scale`` the per-controller bus transfer time on *every*
+        subsequent :meth:`update` that writes those fields — the hook
+        the :mod:`repro.service.failures` engine uses to degrade a live
+        memory controller without touching the simulator's fixed-point
+        code.  Scalars broadcast; passing ``None`` (or an all-ones
+        vector) clears that multiplier and restores the healthy path.
+        Scales must be positive.  Returns ``self`` for chaining.
+        """
+        for label, value, size in (
+            ("bank_scale", bank_scale, self.total_banks),
+            ("bus_scale", bus_scale, self.n_controllers),
+        ):
+            if value is None:
+                scale = None
+            else:
+                scale = np.broadcast_to(
+                    np.asarray(value, dtype=float), (size,)
+                ).copy()
+                if not np.all(scale > 0):
+                    raise ConfigurationError(f"{label} must be positive")
+                if np.all(scale == 1.0):
+                    scale = None
+            if label == "bank_scale":
+                self._bank_scale = scale
+            else:
+                self._bus_scale = scale
+        self._version += 1
+        return self
+
+    @property
+    def service_scales(
+        self,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Current (bank, bus) fault multipliers (None = healthy)."""
+        return self._bank_scale, self._bus_scale
+
+    # ------------------------------------------------------------------
     def update(
         self,
         think: Optional[Union[float, np.ndarray]] = None,
@@ -212,8 +264,12 @@ class NetworkArrays:
             self.think_s[...] = think
         if s_m is not None:
             self.bank_service[...] = s_m
+            if self._bank_scale is not None:
+                self.bank_service *= self._bank_scale
         if s_b is not None:
             self.bus_transfer[...] = s_b
+            if self._bus_scale is not None:
+                self.bus_transfer *= self._bus_scale
         if bg_rates is not None:
             self.bg_rates[...] = bg_rates
         self._version += 1

@@ -1,0 +1,40 @@
+"""repro.service — a long-running control plane over live simulations.
+
+The batch side of this repo answers "what would FastCap have done";
+this package answers "what is FastCap doing *right now*": an ASGI app
+(:func:`create_app`) that owns live
+:class:`~repro.sim.server.ServerSimulator` runs and exposes streaming
+load, live (per-server and grouped) power budgets, per-epoch telemetry
+and typed fault injection over plain JSON/HTTP.  See the README's
+"Service mode" section for a worked curl session.
+
+The app has zero dependencies beyond the repo itself — serve it with
+uvicorn when the ``[service]`` extra is installed, or with the builtin
+:mod:`repro.service.http` bridge otherwise.
+"""
+
+from repro.service.app import create_app
+from repro.service.asgi import ApiError, InProcessClient, Router
+from repro.service.failures import FailureEngine, Fault
+from repro.service.session import (
+    BudgetGroup,
+    Session,
+    SessionManager,
+    epoch_seed,
+)
+from repro.service.telemetry import TelemetryRecord, TelemetryRing
+
+__all__ = [
+    "ApiError",
+    "BudgetGroup",
+    "Fault",
+    "FailureEngine",
+    "InProcessClient",
+    "Router",
+    "Session",
+    "SessionManager",
+    "TelemetryRecord",
+    "TelemetryRing",
+    "create_app",
+    "epoch_seed",
+]

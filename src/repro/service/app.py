@@ -1,0 +1,295 @@
+"""The control-plane HTTP API: routes wired onto the session engine.
+
+``create_app()`` returns a plain ASGI 3 application (a
+:class:`~repro.service.asgi.Router`); serve it with uvicorn, the
+builtin :mod:`repro.service.http` bridge, or call it in-process from
+tests.  All state lives in one :class:`~repro.service.session.SessionManager`
+owned by the app instance — two apps never share sessions.
+
+Endpoints (all JSON)::
+
+    GET    /health                         liveness + session count
+    GET    /                               route index
+    POST   /sessions                       create a session (SessionCreate)
+    GET    /sessions                       list session statuses
+    GET    /sessions/{id}                  one session's status
+    DELETE /sessions/{id}                  stop + remove a session
+    POST   /sessions/{id}/step             advance N epochs synchronously
+    POST   /sessions/{id}/run              stream epochs in the background
+    POST   /sessions/{id}/pause            stop streaming (keeps state)
+    POST   /sessions/{id}/budget           live budget update (BudgetUpdate)
+    POST   /sessions/{id}/phases           submit/replace load phases
+    GET    /sessions/{id}/telemetry        per-epoch history (?since,last,lane)
+    GET    /sessions/{id}/telemetry/summary  window stats (?since,last,lane)
+    POST   /sessions/{id}/faults           inject a fault (FaultCreate)
+    GET    /sessions/{id}/faults           list faults (?lane)
+    DELETE /sessions/{id}/faults/{fid}     resolve a fault (?lane)
+    POST   /groups                         create a shared budget group
+    GET    /groups                         list groups
+    GET    /groups/{name}                  one group
+    PATCH  /groups/{name}                  change the group total
+    DELETE /groups/{name}                  drop the group
+    DELETE /groups/{name}/members/{id}     member leaves; total re-split
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict
+
+from repro.errors import ReproError
+from repro.service.asgi import ApiError, JSONResponse, Request, Router
+from repro.service.schemas import (
+    BudgetUpdate,
+    FaultCreate,
+    GroupCreate,
+    GroupUpdate,
+    PhaseSchedule,
+    RunRequest,
+    SessionCreate,
+    StepRequest,
+)
+from repro.service.session import SessionManager
+
+__all__ = ["create_app"]
+
+
+def _api(handler):
+    """Route adapter: domain errors become structured 400 responses."""
+
+    @functools.wraps(handler)
+    async def wrapped(request: Request):
+        try:
+            return await handler(request)
+        except ApiError:
+            raise
+        except ReproError as exc:
+            raise ApiError(400, str(exc))
+
+    return wrapped
+
+
+def create_app(manager: SessionManager = None) -> Router:
+    """Build the control-plane ASGI application."""
+    app = Router("fastcap-repro-service")
+    mgr = manager if manager is not None else SessionManager()
+    app.manager = mgr  # reachable from tests and the CLI
+
+    # -- meta ----------------------------------------------------------
+    @_api
+    async def health(request: Request):
+        return {
+            "status": "ok",
+            "sessions": len(mgr.sessions),
+            "groups": len(mgr.groups),
+        }
+
+    @_api
+    async def index(request: Request):
+        return {
+            "service": app.name,
+            "routes": [f"{m} {p}" for m, p in app.routes()],
+        }
+
+    # -- sessions ------------------------------------------------------
+    @_api
+    async def create_session(request: Request):
+        spec = SessionCreate.from_payload(request.json())
+        session = mgr.create(spec)
+        return JSONResponse(session.status(), status=201)
+
+    @_api
+    async def list_sessions(request: Request):
+        return {
+            "sessions": [s.status() for s in mgr.sessions.values()]
+        }
+
+    @_api
+    async def get_session(request: Request):
+        return mgr.get(request.path_params["sid"]).status()
+
+    @_api
+    async def delete_session(request: Request):
+        return mgr.delete(request.path_params["sid"])
+
+    @_api
+    async def step_session(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        if session.running:
+            raise ApiError(
+                409, f"session {session.id} is streaming; pause first"
+            )
+        req = StepRequest.from_payload(request.json())
+        advanced = session.advance(req.epochs)
+        return {
+            "session": session.id,
+            "advanced": advanced,
+            "epochs_completed": session.epochs_completed,
+            "finished": session.finished,
+        }
+
+    @_api
+    async def run_session(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        req = RunRequest.from_payload(request.json())
+        session.start(req.epochs, req.pace_s)
+        return JSONResponse(
+            {
+                "session": session.id,
+                "running": True,
+                "epochs": req.epochs,
+                "pace_s": req.pace_s,
+            },
+            status=202,
+        )
+
+    @_api
+    async def pause_session(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        session.pause()
+        return {
+            "session": session.id,
+            "running": False,
+            "epochs_completed": session.epochs_completed,
+        }
+
+    # -- live control --------------------------------------------------
+    @_api
+    async def update_budget(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        update = BudgetUpdate.from_payload(request.json())
+        return session.set_budget(update)
+
+    @_api
+    async def submit_phases(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        schedule = PhaseSchedule.from_payload(request.json())
+        return session.schedule_phases(schedule)
+
+    # -- telemetry -----------------------------------------------------
+    def _lane_of(request: Request, session):
+        return session.lane(request.query_int("lane"))
+
+    @_api
+    async def telemetry(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        lane = _lane_of(request, session)
+        records = lane.telemetry.history(
+            since=request.query_int("since"),
+            last=request.query_int("last"),
+        )
+        return {
+            "session": session.id,
+            "lane": lane.index,
+            "dropped": lane.telemetry.dropped,
+            "records": [r.as_dict() for r in records],
+        }
+
+    @_api
+    async def telemetry_summary(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        lane = _lane_of(request, session)
+        summary = lane.telemetry.summary(
+            since=request.query_int("since"),
+            last=request.query_int("last"),
+        )
+        summary.update(session=session.id, lane=lane.index)
+        return summary
+
+    # -- faults --------------------------------------------------------
+    @_api
+    async def inject_fault(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        spec = FaultCreate.from_payload(request.json())
+        faults = session.inject_fault(spec)
+        return JSONResponse(
+            {
+                "session": session.id,
+                "faults": [f.as_dict() for f in faults],
+            },
+            status=201,
+        )
+
+    @_api
+    async def list_faults(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        lane_q = request.query_int("lane")
+        lanes = session.lanes if lane_q is None else [session.lane(lane_q)]
+        return {
+            "session": session.id,
+            "faults": [
+                dict(f.as_dict(lane.next_epoch), lane=lane.index)
+                for lane in lanes
+                for f in lane.failures.faults
+            ],
+        }
+
+    @_api
+    async def resolve_fault(request: Request):
+        session = mgr.get(request.path_params["sid"])
+        resolved = session.resolve_fault(
+            request.path_params["fid"], request.query_int("lane")
+        )
+        return {
+            "session": session.id,
+            "resolved": [f.as_dict() for f in resolved],
+        }
+
+    # -- budget groups -------------------------------------------------
+    @_api
+    async def create_group(request: Request):
+        spec = GroupCreate.from_payload(request.json())
+        payload = mgr.create_group(spec.name, spec.total_watts, spec.members)
+        return JSONResponse(payload, status=201)
+
+    @_api
+    async def list_groups(request: Request):
+        return {
+            "groups": [g.as_dict() for g in mgr.groups.values()]
+        }
+
+    @_api
+    async def get_group(request: Request):
+        return mgr.get_group(request.path_params["name"]).as_dict()
+
+    @_api
+    async def patch_group(request: Request):
+        update = GroupUpdate.from_payload(request.json())
+        return mgr.update_group(
+            request.path_params["name"], update.total_watts
+        )
+
+    @_api
+    async def delete_group(request: Request):
+        return mgr.delete_group(request.path_params["name"])
+
+    @_api
+    async def leave_group(request: Request):
+        return mgr.leave_group(
+            request.path_params["name"], request.path_params["sid"]
+        )
+
+    # -- wiring --------------------------------------------------------
+    app.get("/health", health)
+    app.get("/", index)
+    app.post("/sessions", create_session)
+    app.get("/sessions", list_sessions)
+    app.get("/sessions/{sid}", get_session)
+    app.delete("/sessions/{sid}", delete_session)
+    app.post("/sessions/{sid}/step", step_session)
+    app.post("/sessions/{sid}/run", run_session)
+    app.post("/sessions/{sid}/pause", pause_session)
+    app.post("/sessions/{sid}/budget", update_budget)
+    app.post("/sessions/{sid}/phases", submit_phases)
+    app.get("/sessions/{sid}/telemetry", telemetry)
+    app.get("/sessions/{sid}/telemetry/summary", telemetry_summary)
+    app.post("/sessions/{sid}/faults", inject_fault)
+    app.get("/sessions/{sid}/faults", list_faults)
+    app.delete("/sessions/{sid}/faults/{fid}", resolve_fault)
+    app.post("/groups", create_group)
+    app.get("/groups", list_groups)
+    app.get("/groups/{name}", get_group)
+    app.patch("/groups/{name}", patch_group)
+    app.delete("/groups/{name}", delete_group)
+    app.delete("/groups/{name}/members/{sid}", leave_group)
+    return app

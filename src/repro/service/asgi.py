@@ -1,0 +1,343 @@
+"""Minimal ASGI plumbing for the control-plane service.
+
+The service app is a plain `ASGI 3 <https://asgi.readthedocs.io>`_
+callable — it runs unchanged under uvicorn/hypercorn in production and
+under any in-process ASGI client in tests — built on a deliberately
+tiny router rather than a web framework, so the service layer adds
+zero hard dependencies (the repo ships with numpy only; FastAPI/httpx
+are optional ``[service]`` extras).  What a framework would provide is
+scoped down to exactly what a typed JSON control plane needs:
+
+* :class:`Router` — method + ``/path/{param}`` dispatch;
+* :class:`Request` / :class:`JSONResponse` — parsed JSON in, JSON out;
+* :class:`ApiError` — typed error payloads with HTTP status codes;
+* :class:`InProcessClient` — a synchronous in-process ASGI test client
+  with a *persistent* event loop, so background session tasks survive
+  across requests (httpx's ASGI transport is used instead when it is
+  installed; the interfaces match for everything the tests touch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote
+
+__all__ = [
+    "ApiError",
+    "InProcessClient",
+    "JSONResponse",
+    "Request",
+    "Router",
+]
+
+
+class ApiError(Exception):
+    """An error with an HTTP status; rendered as a JSON error payload."""
+
+    def __init__(
+        self, status: int, message: str, details: Optional[Dict] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.details = details or {}
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"error": self.message}
+        if self.details:
+            body["details"] = self.details
+        return body
+
+
+class Request:
+    """One parsed HTTP request as seen by a route handler."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        path_params: Dict[str, str],
+        query: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.path_params = path_params
+        self.query = query
+        self._body = body
+
+    def json(self) -> Dict[str, Any]:
+        """The request body as a JSON object ({} when empty)."""
+        if not self._body:
+            return {}
+        try:
+            payload = json.loads(self._body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ApiError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return payload
+
+    def query_int(
+        self, name: str, default: Optional[int] = None
+    ) -> Optional[int]:
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ApiError(400, f"query parameter {name!r} must be an integer")
+
+
+class JSONResponse:
+    """Status + JSON-serializable payload."""
+
+    def __init__(self, payload: Any, status: int = 200) -> None:
+        self.payload = payload
+        self.status = int(status)
+
+    def body(self) -> bytes:
+        return json.dumps(self.payload, sort_keys=True).encode("utf-8")
+
+
+Handler = Callable[[Request], Awaitable[JSONResponse]]
+
+#: ``{param}`` segments in route patterns.
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _compile(pattern: str) -> re.Pattern:
+    regex = _PARAM_RE.sub(r"(?P<\1>[^/]+)", pattern.rstrip("/") or "/")
+    return re.compile("^" + regex + "$")
+
+
+class Router:
+    """Method + path-template dispatch over an ASGI 3 interface."""
+
+    def __init__(self, name: str = "repro-service") -> None:
+        self.name = name
+        self._routes: List[Tuple[str, re.Pattern, str, Handler]] = []
+
+    # ------------------------------------------------------------------
+    def route(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(
+            (method.upper(), _compile(pattern), pattern, handler)
+        )
+
+    def get(self, pattern: str, handler: Handler) -> None:
+        self.route("GET", pattern, handler)
+
+    def post(self, pattern: str, handler: Handler) -> None:
+        self.route("POST", pattern, handler)
+
+    def patch(self, pattern: str, handler: Handler) -> None:
+        self.route("PATCH", pattern, handler)
+
+    def delete(self, pattern: str, handler: Handler) -> None:
+        self.route("DELETE", pattern, handler)
+
+    def routes(self) -> List[Tuple[str, str]]:
+        """(method, pattern) pairs, for the service index endpoint."""
+        return [(method, pattern) for method, _, pattern, _ in self._routes]
+
+    # ------------------------------------------------------------------
+    def _match(
+        self, method: str, path: str
+    ) -> Tuple[Optional[Handler], Dict[str, str], List[str]]:
+        """Resolve a request; also collects allowed methods for 405s."""
+        allowed: List[str] = []
+        path = path.rstrip("/") or "/"
+        for route_method, regex, _, handler in self._routes:
+            found = regex.match(path)
+            if not found:
+                continue
+            if route_method != method:
+                allowed.append(route_method)
+                continue
+            params = {k: unquote(v) for k, v in found.groupdict().items()}
+            return handler, params, allowed
+        return None, {}, allowed
+
+    # ------------------------------------------------------------------
+    async def __call__(self, scope, receive, send) -> None:
+        """The ASGI 3 application interface."""
+        if scope["type"] == "lifespan":
+            # Servers (uvicorn) probe lifespan support; ack and idle.
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+
+        body = b""
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                return
+            body += message.get("body", b"")
+            if not message.get("more_body", False):
+                break
+
+        response = await self._dispatch(scope, body)
+        await send(
+            {
+                "type": "http.response.start",
+                "status": response.status,
+                "headers": [(b"content-type", b"application/json")],
+            }
+        )
+        await send({"type": "http.response.body", "body": response.body()})
+
+    async def _dispatch(self, scope, body: bytes) -> JSONResponse:
+        method = scope["method"].upper()
+        path = scope["path"]
+        handler, params, allowed = self._match(method, path)
+        if handler is None:
+            if allowed:
+                return JSONResponse(
+                    {"error": f"method {method} not allowed", "allowed": allowed},
+                    status=405,
+                )
+            return JSONResponse({"error": f"no route for {path}"}, status=404)
+        query = dict(
+            parse_qsl(scope.get("query_string", b"").decode("latin-1"))
+        )
+        request = Request(method, path, params, query, body)
+        try:
+            result = await handler(request)
+        except ApiError as exc:
+            return JSONResponse(exc.payload(), status=exc.status)
+        except Exception as exc:  # noqa: BLE001 — service boundary
+            return JSONResponse(
+                {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                status=500,
+            )
+        if isinstance(result, JSONResponse):
+            return result
+        return JSONResponse(result)
+
+
+# ----------------------------------------------------------------------
+# In-process test client
+# ----------------------------------------------------------------------
+class ClientResponse:
+    """Minimal httpx-compatible response surface."""
+
+    def __init__(self, status_code: int, body: bytes) -> None:
+        self.status_code = status_code
+        self.content = body
+
+    def json(self) -> Any:
+        return json.loads(self.content.decode("utf-8"))
+
+
+class InProcessClient:
+    """Synchronous in-process ASGI client with a persistent event loop.
+
+    Requests run on one long-lived loop, so ``asyncio`` tasks the app
+    spawns (continuous session stepping) keep making progress across
+    requests — exactly the behaviour of a real server process, without
+    any sockets.  :meth:`pump` runs the loop briefly with no request,
+    letting background tasks advance in deterministic tests.
+    """
+
+    def __init__(self, app: Router) -> None:
+        self._app = app
+        self._loop = asyncio.new_event_loop()
+
+    # -- request API ----------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Optional[Dict] = None,
+    ) -> ClientResponse:
+        return self._loop.run_until_complete(
+            self._call(method, path, json_body)
+        )
+
+    def get(self, path: str, **kw) -> ClientResponse:
+        return self.request("GET", path, kw.get("json"))
+
+    def post(self, path: str, json: Optional[Dict] = None) -> ClientResponse:
+        return self.request("POST", path, json)
+
+    def patch(self, path: str, json: Optional[Dict] = None) -> ClientResponse:
+        return self.request("PATCH", path, json)
+
+    def delete(self, path: str) -> ClientResponse:
+        return self.request("DELETE", path)
+
+    def pump(self, seconds: float = 0.0) -> None:
+        """Run the loop for ``seconds`` without a request (background
+        tasks scheduled by the app make progress)."""
+        self._loop.run_until_complete(asyncio.sleep(seconds))
+
+    def close(self) -> None:
+        pending = asyncio.all_tasks(self._loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self._loop.close()
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ASGI mechanics -------------------------------------------------
+    async def _call(
+        self, method: str, path: str, json_body: Optional[Dict]
+    ) -> ClientResponse:
+        if "?" in path:
+            path, _, query = path.partition("?")
+        else:
+            query = ""
+        body = b"" if json_body is None else json.dumps(json_body).encode()
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": [(b"content-type", b"application/json")],
+            "client": ("testclient", 0),
+            "server": ("testserver", 80),
+            "scheme": "http",
+        }
+        sent = {"body": False}
+
+        async def receive():
+            if sent["body"]:
+                return {"type": "http.disconnect"}
+            sent["body"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        messages: List[Dict] = []
+
+        async def send(message):
+            messages.append(message)
+
+        await self._app(scope, receive, send)
+        status = 500
+        chunks: List[bytes] = []
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+        return ClientResponse(status, b"".join(chunks))

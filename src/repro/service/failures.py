@@ -1,0 +1,289 @@
+"""Typed fault injection for live sessions.
+
+Each fault is a named, bounded perturbation of one simulator's ground
+truth or of the counters the policy observes, applied through the
+None-defaulting hooks on :class:`~repro.sim.server.ServerSimulator`
+and :class:`~repro.queueing.arrays.NetworkArrays`:
+
+* ``degraded-memory-controller`` — the target controller's bus slows
+  by ``magnitude``× (queueing ground truth) while the failing part
+  draws ``power_scale``× its memory power (ground truth *and* the
+  power the sensors report, so the policy's online memory fit can see
+  and absorb it);
+* ``failed-memory-controller`` — the severe version of the above;
+* ``stuck-core-frequency`` — the target core ignores actuation and
+  stays pinned at ``magnitude`` Hz (ladder-quantized);
+* ``power-sensor-bias`` — every power reading the policy sees is
+  scaled by ``(1 + magnitude)``; ground truth is untouched, so the
+  policy caps against lies.
+
+Effects are *recomputed from the set of active faults* at every epoch
+boundary — injection, expiry and resolution all go through the same
+:meth:`FailureEngine.apply` path, so overlapping faults compose and
+clearing the last fault restores the exact pristine hook state
+(``None`` everywhere, back on the golden-parity code path).  Any
+per-epoch jitter draws from an rng derived from (session seed, fault
+id, epoch), never from the simulator's stream — reproducible and
+non-perturbing.
+
+A fault's effects begin in the **main segment** of its start epoch:
+real hardware does not wait for a profiling window to fail, so the
+epoch's decision — made from pre-fault profiling counters — commits a
+configuration the faulted ground truth then violates.  Telemetry
+records that violation at the start epoch; from the next epoch's
+profiling window the policy observes the fault (the sensors report
+the excess memory power) and its online power fits pull the system
+back under the cap.  The session driver gets this phasing by calling
+:meth:`FailureEngine.apply` with ``include_starting=False`` before
+the profiling window and ``include_starting=True`` after the epoch's
+decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.server import FrequencySettings, ServerSimulator
+
+#: Built-in (service_scale, power_scale) defaults per memory fault type.
+_MEMORY_FAULT_DEFAULTS = {
+    "degraded-memory-controller": (2.0, 1.5),
+    "failed-memory-controller": (8.0, 2.5),
+}
+#: Default observed-power bias (+20%) for sensor faults.
+_DEFAULT_SENSOR_BIAS = 0.2
+
+
+@dataclass
+class Fault:
+    """One injected fault and its lifecycle."""
+
+    id: str
+    type: str
+    target: Optional[int]
+    magnitude: float
+    power_scale: Optional[float]
+    start_epoch: int
+    duration_epochs: Optional[int]
+    jitter: float = 0.0
+    resolved_epoch: Optional[int] = None
+
+    def active_at(self, epoch: int) -> bool:
+        if self.resolved_epoch is not None and epoch >= self.resolved_epoch:
+            return False
+        if self.duration_epochs is not None and (
+            epoch >= self.start_epoch + self.duration_epochs
+        ):
+            return False
+        return epoch >= self.start_epoch
+
+    def as_dict(self, epoch: Optional[int] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "type": self.type,
+            "target": self.target,
+            "magnitude": self.magnitude,
+            "power_scale": self.power_scale,
+            "start_epoch": self.start_epoch,
+            "duration_epochs": self.duration_epochs,
+            "jitter": self.jitter,
+            "resolved_epoch": self.resolved_epoch,
+        }
+        if epoch is not None:
+            payload["active"] = self.active_at(epoch)
+        return payload
+
+
+class FailureEngine:
+    """Owns one simulator's faults and keeps its hooks in sync.
+
+    The session calls :meth:`apply` at every epoch boundary (before
+    the epoch runs); the engine expires due faults, derives the
+    composed effect of everything still active, and (re)writes the
+    simulator hooks.  Hooks are written unconditionally — including
+    back to ``None`` — so the simulator state is always a pure
+    function of the active fault set.
+    """
+
+    def __init__(self, sim: ServerSimulator, session_seed: int) -> None:
+        self._sim = sim
+        self._session_seed = int(session_seed)
+        self._faults: List[Fault] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def faults(self) -> List[Fault]:
+        return list(self._faults)
+
+    def active(self, epoch: int) -> List[Fault]:
+        return [f for f in self._faults if f.active_at(epoch)]
+
+    def get(self, fault_id: str) -> Fault:
+        for fault in self._faults:
+            if fault.id == fault_id:
+                return fault
+        raise ConfigurationError(f"no fault {fault_id!r}")
+
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        fault_type: str,
+        epoch: int,
+        target: Optional[int] = None,
+        magnitude: Optional[float] = None,
+        power_scale: Optional[float] = None,
+        duration_epochs: Optional[int] = None,
+        jitter: float = 0.0,
+    ) -> Fault:
+        """Register a fault starting at ``epoch`` and apply it."""
+        cfg = self._sim.config
+        if fault_type in _MEMORY_FAULT_DEFAULTS:
+            default_scale, default_power = _MEMORY_FAULT_DEFAULTS[fault_type]
+            magnitude = default_scale if magnitude is None else magnitude
+            power_scale = default_power if power_scale is None else power_scale
+            target = 0 if target is None else target
+            if not 0 <= target < cfg.memory.n_controllers:
+                raise ConfigurationError(
+                    f"controller index {target} out of range "
+                    f"(0..{cfg.memory.n_controllers - 1})"
+                )
+            if magnitude <= 0:
+                raise ConfigurationError("service scale must be positive")
+        elif fault_type == "stuck-core-frequency":
+            magnitude = (
+                cfg.core_dvfs.f_min_hz if magnitude is None else magnitude
+            )
+            target = 0 if target is None else target
+            if not 0 <= target < cfg.n_cores:
+                raise ConfigurationError(
+                    f"core index {target} out of range (0..{cfg.n_cores - 1})"
+                )
+            if magnitude <= 0:
+                raise ConfigurationError("stuck frequency must be positive")
+        elif fault_type == "power-sensor-bias":
+            magnitude = (
+                _DEFAULT_SENSOR_BIAS if magnitude is None else magnitude
+            )
+            if magnitude <= -1.0:
+                raise ConfigurationError(
+                    "sensor bias must keep observed power positive"
+                )
+        else:
+            raise ConfigurationError(f"unknown fault type {fault_type!r}")
+
+        self._counter += 1
+        fault = Fault(
+            id=f"f{self._counter}",
+            type=fault_type,
+            target=target,
+            magnitude=float(magnitude),
+            power_scale=None if power_scale is None else float(power_scale),
+            start_epoch=int(epoch),
+            duration_epochs=duration_epochs,
+            jitter=float(jitter),
+        )
+        self._faults.append(fault)
+        # The new fault's own effects hold off until after the start
+        # epoch's decision (see module docstring); established faults
+        # are re-applied as usual.
+        self.apply(epoch, include_starting=False)
+        return fault
+
+    def resolve(self, fault_id: str, epoch: int) -> Fault:
+        """Mark a fault repaired as of ``epoch`` and re-apply the rest."""
+        fault = self.get(fault_id)
+        if fault.resolved_epoch is None:
+            fault.resolved_epoch = int(epoch)
+        self.apply(epoch)
+        return fault
+
+    # ------------------------------------------------------------------
+    def _jittered(self, base: float, fault: Fault, epoch: int) -> float:
+        """Scale wobbled by a per-(seed, fault, epoch) derived stream."""
+        if fault.jitter <= 0:
+            return base
+        seq = np.random.SeedSequence(
+            (self._session_seed, int(fault.id[1:]), epoch)
+        )
+        rng = np.random.default_rng(seq)
+        return base * (1.0 + fault.jitter * rng.uniform(-1.0, 1.0))
+
+    def apply(self, epoch: int, include_starting: bool = True) -> List[Fault]:
+        """Recompute every simulator hook from the faults active now.
+
+        ``include_starting=False`` withholds faults whose start epoch
+        is ``epoch`` — the pre-decision (profiling) phase of the fault's
+        first epoch, where the hardware has not failed yet.
+        """
+        cfg = self._sim.config
+        n_ctrl = cfg.memory.n_controllers
+        active = self.active(epoch)
+        if not include_starting:
+            active = [f for f in active if f.start_epoch < epoch]
+
+        bus_scale = np.ones(n_ctrl)
+        power_scale = np.ones(n_ctrl)
+        stuck: Dict[int, float] = {}
+        sensor_gain = 1.0
+        for fault in active:
+            if fault.type in _MEMORY_FAULT_DEFAULTS:
+                scale = self._jittered(fault.magnitude, fault, epoch)
+                bus_scale[fault.target] *= max(scale, 1e-6)
+                if fault.power_scale is not None:
+                    power_scale[fault.target] *= fault.power_scale
+            elif fault.type == "stuck-core-frequency":
+                stuck[fault.target] = fault.magnitude
+            elif fault.type == "power-sensor-bias":
+                sensor_gain *= 1.0 + self._jittered(
+                    fault.magnitude, fault, epoch
+                )
+
+        self._sim.network_arrays.set_service_scale(
+            bus_scale=None if np.all(bus_scale == 1.0) else bus_scale
+        )
+        self._sim.set_memory_power_scale(
+            None if np.all(power_scale == 1.0) else power_scale
+        )
+        self._sim.actuation_filter = (
+            self._make_actuation_filter(stuck) if stuck else None
+        )
+        self._sim.counter_filter = (
+            self._make_counter_filter(sensor_gain)
+            if sensor_gain != 1.0
+            else None
+        )
+        return active
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_actuation_filter(stuck: Dict[int, float]):
+        def actuation_filter(settings: FrequencySettings) -> FrequencySettings:
+            freqs = list(settings.core_frequencies_hz)
+            for core, frequency in stuck.items():
+                freqs[core] = frequency
+            return FrequencySettings(tuple(freqs), settings.bus_frequency_hz)
+
+        return actuation_filter
+
+    @staticmethod
+    def _make_counter_filter(gain: float):
+        from dataclasses import replace
+
+        def counter_filter(counters):
+            cores = tuple(
+                replace(core, power_w=core.power_w * gain)
+                for core in counters.cores
+            )
+            return replace(
+                counters,
+                cores=cores,
+                memory_power_w=counters.memory_power_w * gain,
+                total_power_w=counters.total_power_w * gain,
+            )
+
+        return counter_filter

@@ -1,0 +1,161 @@
+"""A small stdlib HTTP/1.1 → ASGI bridge.
+
+Production deployments should serve the app with uvicorn (the
+``[service]`` extra); this bridge exists so ``fastcap-repro serve``
+works on a bare install — the repo's only hard dependency is numpy.
+It speaks enough HTTP/1.1 for a JSON control plane: one request per
+connection (``Connection: close``), Content-Length bodies, no TLS, no
+chunked encoding.
+
+The protocol translation is factored so tests can drive it through
+in-memory streams — no sockets are opened outside
+:func:`serve_forever`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import unquote
+
+#: Reason phrases for the statuses the service actually emits.
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+#: Cap on header block + body (a control plane has no big uploads).
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Malformed HTTP from the client (answered with a 400)."""
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, bytes, List[Tuple[bytes, bytes]], bytes]:
+    """Parse one request head + body from a stream.
+
+    Returns ``(method, path, query_string, headers, body)``.
+    """
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("header block too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported version {version!r}")
+
+    headers: List[Tuple[bytes, bytes]] = []
+    content_length = 0
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header {line!r}")
+        name = name.strip().lower()
+        value = value.strip()
+        headers.append((name.encode("latin-1"), value.encode("latin-1")))
+        if name == "content-length":
+            try:
+                content_length = int(value)
+            except ValueError:
+                raise ProtocolError("bad Content-Length")
+        elif name == "transfer-encoding":
+            raise ProtocolError("chunked bodies are not supported")
+    if content_length < 0 or content_length > MAX_BODY_BYTES:
+        raise ProtocolError("unacceptable Content-Length")
+
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+    path, _, query = target.partition("?")
+    return method.upper(), unquote(path), query.encode("latin-1"), headers, body
+
+
+def _head(status: int, length: int) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"content-type: application/json\r\n"
+        f"content-length: {length}\r\n"
+        f"connection: close\r\n\r\n"
+    ).encode("latin-1")
+
+
+async def handle_connection(app, reader, writer) -> None:
+    """Serve one connection: parse, run the ASGI app, write, close."""
+    try:
+        try:
+            method, path, query, headers, body = await read_request(reader)
+        except (ProtocolError, asyncio.IncompleteReadError, ValueError) as exc:
+            payload = f'{{"error": "bad request: {type(exc).__name__}"}}'
+            writer.write(_head(400, len(payload)) + payload.encode())
+            await writer.drain()
+            return
+
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method,
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": query,
+            "headers": headers,
+            "scheme": "http",
+            "client": writer.get_extra_info("peername") or ("", 0),
+            "server": writer.get_extra_info("sockname") or ("", 0),
+        }
+
+        sent = {"body": False}
+
+        async def receive() -> Dict:
+            if sent["body"]:
+                return {"type": "http.disconnect"}
+            sent["body"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        status = {"code": 500}
+        chunks: List[bytes] = []
+
+        async def send(message: Dict) -> None:
+            if message["type"] == "http.response.start":
+                status["code"] = message["status"]
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+
+        await app(scope, receive, send)
+        payload_bytes = b"".join(chunks)
+        writer.write(_head(status["code"], len(payload_bytes)) + payload_bytes)
+        await writer.drain()
+    finally:
+        writer.close()
+
+
+async def serve_forever(app, host: str, port: int) -> None:
+    """Run the bridge until cancelled."""
+
+    async def on_connect(reader, writer):
+        await handle_connection(app, reader, writer)
+
+    server = await asyncio.start_server(on_connect, host=host, port=port)
+    addresses = ", ".join(
+        f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+        for sock in server.sockets or []
+    )
+    print(f"fastcap-repro service listening on {addresses}")
+    async with server:
+        await server.serve_forever()

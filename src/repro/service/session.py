@@ -1,0 +1,676 @@
+"""Live simulation sessions: the control plane's execution engine.
+
+A :class:`Session` owns one or more lanes — each a full
+(:class:`~repro.sim.server.ServerSimulator`, policy,
+:class:`~repro.sim.server.RunControl`) run — and drives their
+``run_steps`` generators *epoch by epoch* instead of to completion.
+Multi-lane sessions advance in lockstep through the same
+:class:`~repro.sim.server.FleetSimulator` batching machinery the batch
+path uses (lanes pause at their ``EpochComplete`` marker until every
+live lane reaches the boundary), so a service session computes
+bit-identically to the equivalent batch run when nothing is perturbed.
+
+Between epochs the session applies everything "live": streaming load
+phases (think-time scaling), budget changes (through ``RunControl`` so
+online power fits survive), fault effects
+(:class:`~repro.service.failures.FailureEngine`), and a deterministic
+per-epoch noise reseed — epoch ``e`` of session seed ``s`` always
+draws the same noise regardless of how the run was paused, stepped, or
+restarted around it.
+
+:class:`SessionManager` adds naming, lifecycle, and cross-session
+budget groups: one wattage shared by several servers, split in
+proportion to peak power and re-split when membership changes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.campaign.runner import config_for_spec, resolved_policy_name
+from repro.campaign.spec import RunSpec
+from repro.core.optimizer import ProcessorGroups
+from repro.errors import ConfigurationError
+from repro.policies.registry import make_policy
+from repro.service.failures import FailureEngine, Fault
+from repro.service.schemas import (
+    BudgetUpdate,
+    FaultCreate,
+    LoadPhase,
+    PhaseSchedule,
+    SessionCreate,
+)
+from repro.service.telemetry import TelemetryRecord, TelemetryRing
+from repro.sim.server import (
+    DecideRequest,
+    EpochComplete,
+    FleetLane,
+    FleetSimulator,
+    RunControl,
+    RunResult,
+    ServerSimulator,
+    SolveRequest,
+)
+from repro.workloads import get_workload
+
+
+def epoch_seed(session_seed: int, epoch: int, lane: int = 0) -> int:
+    """Deterministic noise seed for one (session, lane, epoch).
+
+    Mirrors the per-window eventsim seeding: derived through a
+    :class:`numpy.random.SeedSequence` over the identifying tuple, so
+    epoch ``e`` draws identical noise whether the run reached it in
+    one sweep or through any sequence of pauses, steps and restarts —
+    and injected faults never shift the noise stream of later epochs.
+    """
+    seq = np.random.SeedSequence((int(session_seed), int(lane), int(epoch)))
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+
+@dataclass
+class _PhaseState:
+    """Progress through a streaming-load schedule."""
+
+    phases: List[LoadPhase] = field(default_factory=list)
+    index: int = 0
+    remaining: Optional[int] = None
+    entered: bool = False
+
+    def current(self) -> Optional[LoadPhase]:
+        if self.index < len(self.phases):
+            return self.phases[self.index]
+        return None
+
+
+class _Lane:
+    """One live run inside a session (simulator + policy + liveness)."""
+
+    def __init__(
+        self,
+        index: int,
+        spec: RunSpec,
+        session_seed: int,
+        telemetry_capacity: int,
+        max_epochs: Optional[int],
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        config = config_for_spec(spec)
+        self.simulator = ServerSimulator(
+            config,
+            get_workload(spec.workload),
+            seed=spec.seed,
+            engine=spec.engine,
+        )
+        self.policy = make_policy(resolved_policy_name(spec))
+        self.control = RunControl(budget_fraction=None, stop=False)
+        self.fleet_lane = FleetLane(
+            simulator=self.simulator,
+            policy=self.policy,
+            budget_fraction=spec.budget_fraction,
+            instruction_quota=spec.instruction_quota,
+            max_epochs=max_epochs,
+            measure_decision_time=spec.record_decision_time,
+            control=self.control,
+        )
+        self.failures = FailureEngine(self.simulator, session_seed)
+        self.telemetry = TelemetryRing(telemetry_capacity)
+        self.phase_state = _PhaseState()
+        self.generator = None  # created lazily on first advance
+        self.response: Any = None
+        self.next_epoch = 0
+        self.finished = False
+        self.result: Optional[RunResult] = None
+        #: The budget fraction currently requested (initial or live).
+        self.budget_fraction = spec.budget_fraction
+
+    # ------------------------------------------------------------------
+    def ensure_generator(self) -> None:
+        if self.generator is None:
+            lane = self.fleet_lane
+            self.generator = self.simulator.run_steps(
+                lane.policy,
+                lane.budget_fraction,
+                instruction_quota=lane.instruction_quota,
+                max_epochs=lane.max_epochs,
+                measure_decision_time=lane.measure_decision_time,
+                control=lane.control,
+            )
+
+    # ------------------------------------------------------------------
+    def prepare_epoch(self, session_seed: int) -> List[Fault]:
+        """Apply phases, fault effects and the noise reseed for the
+        epoch about to run."""
+        self._apply_phase()
+        # Only established faults perturb the profiling window; faults
+        # starting THIS epoch activate after the decision (see the
+        # failures module docstring).
+        active = self.failures.apply(self.next_epoch, include_starting=False)
+        self.simulator.reseed_noise(
+            epoch_seed(session_seed, self.next_epoch, self.index)
+        )
+        if self.control.budget_fraction is not None:
+            self.budget_fraction = self.control.budget_fraction
+        return active
+
+    def _apply_phase(self) -> None:
+        state = self.phase_state
+        # A phase that consumed its last epoch advances here, at the
+        # top of the NEXT epoch's prep, so it holds for the full
+        # duration regardless of what follows it.
+        if (
+            state.entered
+            and state.remaining is not None
+            and state.remaining <= 0
+        ):
+            state.index += 1
+            state.entered = False
+            if state.current() is None:
+                # Schedule exhausted: back to the nominal load.
+                self.simulator.set_think_scale(None)
+        phase = state.current()
+        if phase is None:
+            return
+        if not state.entered:
+            scale = phase.think_scale
+            self.simulator.set_think_scale(None if scale == 1.0 else scale)
+            if phase.budget_fraction is not None:
+                self.control.budget_fraction = phase.budget_fraction
+            state.remaining = phase.duration_epochs
+            state.entered = True
+        if state.remaining is not None:
+            state.remaining -= 1
+
+    def record_epoch(self, marker: EpochComplete) -> None:
+        record = marker.record
+        active = self.failures.active(record.index)
+        self.telemetry.append(
+            TelemetryRecord(
+                epoch=record.index,
+                sim_time_s=record.start_time_s + record.duration_s,
+                duration_s=record.duration_s,
+                budget_w=record.budget_watts,
+                total_power_w=record.total_power_w,
+                cpu_power_w=record.cpu_power_w,
+                memory_power_w=record.memory_power_w,
+                cap_violated=record.total_power_w
+                > record.budget_watts * (1 + 1e-9),
+                core_frequencies_hz=record.core_frequencies_hz,
+                bus_frequency_hz=record.bus_frequency_hz,
+                instructions=sum(marker.instructions_retired),
+                active_faults=tuple(f.id for f in active),
+            )
+        )
+        self.next_epoch = record.index + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_power_w(self) -> float:
+        return self.simulator.config.power.peak_power_w
+
+    def status(self) -> Dict[str, Any]:
+        latest = self.telemetry.latest
+        return {
+            "lane": self.index,
+            "workload": self.spec.workload,
+            "policy": self.policy.name,
+            "seed": self.spec.seed,
+            "epochs_completed": self.next_epoch,
+            "finished": self.finished,
+            "budget_fraction": self.budget_fraction,
+            "budget_w": (
+                latest.budget_w
+                if latest is not None
+                else self.simulator.config.budget_watts(self.budget_fraction)
+            ),
+            "peak_power_w": self.peak_power_w,
+            "active_faults": [
+                f.id for f in self.failures.active(self.next_epoch)
+            ],
+            "telemetry_epochs": len(self.telemetry),
+            "telemetry_dropped": self.telemetry.dropped,
+        }
+
+
+class Session:
+    """One control-plane session: N lanes advanced epoch-by-epoch."""
+
+    def __init__(self, session_id: str, spec: SessionCreate) -> None:
+        self.id = session_id
+        self.spec = spec
+        self.seed = spec.seed
+        base = dict(
+            workload=spec.workload,
+            policy=spec.policy,
+            budget_fraction=spec.budget_fraction,
+            n_cores=spec.n_cores,
+            ooo=spec.ooo,
+            n_controllers=spec.n_controllers,
+            controller_skew=spec.controller_skew,
+            epoch_ms=spec.epoch_ms,
+            seed=spec.seed,
+            instruction_quota=spec.instruction_quota,
+            max_epochs=spec.max_epochs,
+            engine=spec.engine,
+            record_decision_time=spec.record_decision_time,
+        )
+        if spec.lanes:
+            # None-valued lane overrides inherit the session default.
+            lane_specs = [
+                RunSpec(
+                    **{
+                        **base,
+                        "workload": lane.workload,
+                        "policy": lane.policy or spec.policy,
+                        "budget_fraction": (
+                            spec.budget_fraction
+                            if lane.budget_fraction is None
+                            else lane.budget_fraction
+                        ),
+                        "seed": spec.seed if lane.seed is None else lane.seed,
+                    }
+                )
+                for lane in spec.lanes
+            ]
+        else:
+            lane_specs = [RunSpec(**base)]
+        self.lanes = [
+            _Lane(
+                i,
+                lane_spec,
+                session_seed=spec.seed,
+                telemetry_capacity=spec.telemetry_capacity,
+                max_epochs=spec.max_epochs,
+            )
+            for i, lane_spec in enumerate(lane_specs)
+        ]
+        # Shared batching machinery — also validates shape compatibility.
+        self._fleet = FleetSimulator([lane.fleet_lane for lane in self.lanes])
+        self.running = False
+        self._run_task: Optional[asyncio.Task] = None
+        self.group: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Epoch stepping
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return all(lane.finished for lane in self.lanes)
+
+    @property
+    def epochs_completed(self) -> int:
+        return max(lane.next_epoch for lane in self.lanes)
+
+    def advance(self, epochs: int = 1) -> int:
+        """Advance every live lane by up to ``epochs`` epochs.
+
+        Returns the number of lockstep epochs actually executed (less
+        than ``epochs`` only when every lane finishes first).
+        """
+        done = 0
+        for _ in range(epochs):
+            if not self._advance_one_epoch():
+                break
+            done += 1
+        return done
+
+    def _advance_one_epoch(self) -> bool:
+        live = [lane for lane in self.lanes if not lane.finished]
+        if not live:
+            return False
+        for lane in live:
+            lane.ensure_generator()
+            lane.prepare_epoch(self.seed)
+
+        # Drive until every live lane either closes its epoch (holds at
+        # the EpochComplete marker) or finishes; concurrent solve and
+        # decide requests are served batched, fleet-wide.
+        pending: Dict[int, Any] = {lane.index: lane.response for lane in live}
+        lanes_by_index = {lane.index: lane for lane in self.lanes}
+        advanced = False
+        while pending:
+            requests: Dict[int, Any] = {}
+            for i in sorted(pending):
+                lane = lanes_by_index[i]
+                try:
+                    request = lane.generator.send(pending[i])
+                except StopIteration as stop:
+                    lane.result = stop.value
+                    lane.finished = True
+                    continue
+                if isinstance(request, EpochComplete):
+                    lane.record_epoch(request)
+                    lane.response = None  # next epoch's kick-off
+                    advanced = True
+                else:
+                    if isinstance(request, DecideRequest):
+                        # The epoch's decision is committed from the
+                        # profiling counters; faults starting this
+                        # epoch now hit the main segment's ground
+                        # truth (mid-epoch activation).
+                        lane.failures.apply(lane.next_epoch)
+                    requests[i] = request
+            if not requests:
+                break
+            pending = self._fleet.serve(requests)
+        return advanced
+
+    # ------------------------------------------------------------------
+    # Background streaming
+    # ------------------------------------------------------------------
+    async def run_async(
+        self, epochs: Optional[int] = None, pace_s: float = 0.0
+    ) -> int:
+        """Stream epochs until paused, finished, or ``epochs`` elapse."""
+        self.running = True
+        done = 0
+        try:
+            while self.running and (epochs is None or done < epochs):
+                if self.advance(1) == 0:
+                    break
+                done += 1
+                # Always yield to the event loop so pause/telemetry
+                # requests interleave with a zero-pace stream.
+                await asyncio.sleep(pace_s)
+        finally:
+            self.running = False
+        return done
+
+    def start(self, epochs: Optional[int], pace_s: float) -> None:
+        if self.running:
+            raise ConfigurationError(f"session {self.id} is already running")
+        if self.finished:
+            raise ConfigurationError(f"session {self.id} has finished")
+        loop = asyncio.get_running_loop()
+        self._run_task = loop.create_task(self.run_async(epochs, pace_s))
+
+    def pause(self) -> None:
+        self.running = False
+
+    def stop(self) -> None:
+        """Stop gracefully: lanes exit at their next epoch boundary."""
+        self.running = False
+        if self._run_task is not None and not self._run_task.done():
+            self._run_task.cancel()
+            self._run_task = None
+        for lane in self.lanes:
+            lane.control.stop = True
+        # One more lockstep tick lets every generator return its
+        # RunResult (the stop flag is read at the top of the loop).
+        self._advance_one_epoch()
+
+    # ------------------------------------------------------------------
+    # Live mutation
+    # ------------------------------------------------------------------
+    def _target_lanes(self, lane: Optional[int]) -> List[_Lane]:
+        if lane is None:
+            return list(self.lanes)
+        if not 0 <= lane < len(self.lanes):
+            raise ConfigurationError(
+                f"session {self.id} has no lane {lane} "
+                f"(0..{len(self.lanes) - 1})"
+            )
+        return [self.lanes[lane]]
+
+    def set_budget(self, update: BudgetUpdate) -> Dict[str, Any]:
+        """Apply a live budget change; effective next epoch boundary."""
+        targets = self._target_lanes(update.lane)
+        applied = []
+        for lane in targets:
+            fraction = update.budget_fraction
+            if update.budget_watts is not None:
+                fraction = update.budget_watts / lane.peak_power_w
+                if not 0.0 < fraction <= 1.0:
+                    raise ConfigurationError(
+                        f"budget {update.budget_watts} W is outside "
+                        f"(0, {lane.peak_power_w}] W for lane {lane.index}"
+                    )
+            if fraction is not None:
+                lane.control.budget_fraction = fraction
+                lane.budget_fraction = fraction
+            if update.clear_processor_groups:
+                self._set_groups(lane, None)
+            elif update.processor_groups is not None:
+                groups = ProcessorGroups(
+                    membership=np.asarray(
+                        update.processor_groups.membership, dtype=np.int64
+                    ),
+                    budgets_w=np.asarray(
+                        update.processor_groups.budgets_w, dtype=float
+                    ),
+                )
+                n_cores = lane.simulator.config.n_cores
+                if groups.membership.size != n_cores:
+                    raise ConfigurationError(
+                        f"membership covers {groups.membership.size} cores; "
+                        f"lane {lane.index} has {n_cores}"
+                    )
+                self._set_groups(lane, groups)
+            applied.append(
+                {
+                    "lane": lane.index,
+                    "budget_fraction": lane.budget_fraction,
+                    "budget_w": lane.simulator.config.budget_watts(
+                        lane.budget_fraction
+                    ),
+                }
+            )
+        return {"session": self.id, "applied": applied}
+
+    @staticmethod
+    def _set_groups(lane: _Lane, groups: Optional[ProcessorGroups]) -> None:
+        setter = getattr(lane.policy, "set_processor_groups", None)
+        if setter is None:
+            raise ConfigurationError(
+                f"policy {lane.policy.name!r} does not support "
+                "per-processor budgets"
+            )
+        setter(groups)
+
+    def schedule_phases(self, schedule: PhaseSchedule) -> Dict[str, Any]:
+        targets = self._target_lanes(schedule.lane)
+        for lane in targets:
+            state = lane.phase_state
+            if schedule.replace:
+                state.phases = list(schedule.phases)
+                state.index = 0
+                state.remaining = None
+                state.entered = False
+            else:
+                state.phases.extend(schedule.phases)
+        return {
+            "session": self.id,
+            "lanes": [lane.index for lane in targets],
+            "phases_queued": len(schedule.phases),
+        }
+
+    def inject_fault(self, spec: FaultCreate) -> List[Fault]:
+        targets = self._target_lanes(spec.lane)
+        return [
+            lane.failures.inject(
+                spec.type,
+                epoch=lane.next_epoch,
+                target=spec.target,
+                magnitude=spec.magnitude,
+                power_scale=spec.power_scale,
+                duration_epochs=spec.duration_epochs,
+                jitter=spec.jitter,
+            )
+            for lane in targets
+        ]
+
+    def resolve_fault(self, fault_id: str, lane: Optional[int]) -> List[Fault]:
+        targets = self._target_lanes(lane)
+        resolved = []
+        for target in targets:
+            try:
+                resolved.append(
+                    target.failures.resolve(fault_id, target.next_epoch)
+                )
+            except ConfigurationError:
+                if lane is not None:
+                    raise
+        if not resolved:
+            raise ConfigurationError(f"no fault {fault_id!r} in any lane")
+        return resolved
+
+    # ------------------------------------------------------------------
+    def lane(self, index: Optional[int]) -> _Lane:
+        """The addressed lane (default: the only one)."""
+        if index is None:
+            if len(self.lanes) > 1:
+                raise ConfigurationError(
+                    f"session {self.id} has {len(self.lanes)} lanes; "
+                    "pass ?lane="
+                )
+            return self.lanes[0]
+        return self._target_lanes(index)[0]
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "seed": self.seed,
+            "n_cores": self.spec.n_cores,
+            "n_controllers": self.spec.n_controllers,
+            "engine": self.spec.engine,
+            "running": self.running,
+            "finished": self.finished,
+            "epochs_completed": self.epochs_completed,
+            "group": self.group,
+            "lanes": [lane.status() for lane in self.lanes],
+        }
+
+
+# ----------------------------------------------------------------------
+# Cross-session budget groups
+# ----------------------------------------------------------------------
+@dataclass
+class BudgetGroup:
+    """One wattage shared by several sessions.
+
+    The split is proportional to each member's peak power — which for
+    homogeneous fractions means every member runs at the same budget
+    *fraction* — recomputed whenever the total changes or a member
+    leaves, and clamped to each server's peak.
+    """
+
+    name: str
+    total_watts: float
+    members: List[str] = field(default_factory=list)
+
+    def as_dict(self, split: Optional[Dict[str, float]] = None) -> Dict:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "total_watts": self.total_watts,
+            "members": list(self.members),
+        }
+        if split is not None:
+            payload["split_w"] = split
+        return payload
+
+
+class SessionManager:
+    """Registry of live sessions plus shared budget groups."""
+
+    def __init__(self) -> None:
+        self.sessions: Dict[str, Session] = {}
+        self.groups: Dict[str, BudgetGroup] = {}
+        self._counter = 0
+
+    # -- sessions -------------------------------------------------------
+    def create(self, spec: SessionCreate) -> Session:
+        self._counter += 1
+        session = Session(f"s{self._counter}", spec)
+        self.sessions[session.id] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise ConfigurationError(f"no session {session_id!r}")
+        return session
+
+    def delete(self, session_id: str) -> Dict[str, Any]:
+        session = self.get(session_id)
+        session.stop()
+        if session.group is not None:
+            self.leave_group(session.group, session_id)
+        del self.sessions[session_id]
+        return {"deleted": session_id, "epochs": session.epochs_completed}
+
+    # -- groups ---------------------------------------------------------
+    def create_group(
+        self, name: str, total_watts: float, members: Tuple[str, ...]
+    ) -> Dict[str, Any]:
+        if name in self.groups:
+            raise ConfigurationError(f"group {name!r} already exists")
+        for member in members:
+            session = self.get(member)
+            if session.group is not None:
+                raise ConfigurationError(
+                    f"session {member} already belongs to group "
+                    f"{session.group!r}"
+                )
+        group = BudgetGroup(name, float(total_watts), list(members))
+        self.groups[name] = group
+        for member in members:
+            self.sessions[member].group = name
+        return group.as_dict(self._apply_group(group))
+
+    def get_group(self, name: str) -> BudgetGroup:
+        group = self.groups.get(name)
+        if group is None:
+            raise ConfigurationError(f"no group {name!r}")
+        return group
+
+    def update_group(self, name: str, total_watts: float) -> Dict[str, Any]:
+        group = self.get_group(name)
+        group.total_watts = float(total_watts)
+        return group.as_dict(self._apply_group(group))
+
+    def leave_group(self, name: str, session_id: str) -> Dict[str, Any]:
+        """Remove one member and re-split the total over the rest."""
+        group = self.get_group(name)
+        if session_id not in group.members:
+            raise ConfigurationError(
+                f"session {session_id} is not in group {name!r}"
+            )
+        group.members.remove(session_id)
+        session = self.sessions.get(session_id)
+        if session is not None:
+            session.group = None
+        return group.as_dict(self._apply_group(group))
+
+    def delete_group(self, name: str) -> Dict[str, Any]:
+        """Drop the group; members keep their last-applied budgets."""
+        group = self.get_group(name)
+        for member in group.members:
+            session = self.sessions.get(member)
+            if session is not None:
+                session.group = None
+        del self.groups[name]
+        return {"deleted": name}
+
+    def _apply_group(self, group: BudgetGroup) -> Dict[str, float]:
+        """Split the group total by peak power and apply live budgets."""
+        members = [self.get(m) for m in group.members]
+        if not members:
+            return {}
+        total_peak = sum(
+            lane.peak_power_w for s in members for lane in s.lanes
+        )
+        # Proportional-to-peak split = one common budget fraction,
+        # clamped to peak (a group with more watts than hardware just
+        # uncaps everyone).
+        fraction = min(group.total_watts / total_peak, 1.0)
+        split: Dict[str, float] = {}
+        for session in members:
+            session.set_budget(BudgetUpdate(budget_fraction=fraction))
+            split[session.id] = fraction * sum(
+                lane.peak_power_w for lane in session.lanes
+            )
+        return split

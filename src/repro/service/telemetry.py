@@ -1,0 +1,173 @@
+"""Bounded in-memory telemetry for long-running sessions.
+
+A service session can run forever, so it cannot keep every
+:class:`~repro.sim.server.EpochRecord` the way a batch
+:class:`SimulationResult` does.  :class:`TelemetryRing` keeps the last
+N per-epoch records in a deque; older records fall off the front and
+are only counted (``dropped``).  Queries cover the common control-plane
+questions: the recent history, a seek from a known epoch index, and
+summary statistics over a window (mean power, cap-violation count,
+time-over-cap, fairness) — enough to reconstruct a
+violation-and-recovery trajectory after a fault without replaying the
+run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.fairness import fairness_gap, jain_index
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One epoch of a live session, flattened for transport.
+
+    A trimmed-down :class:`~repro.sim.server.EpochRecord`: everything a
+    dashboard plots per epoch, all JSON-native.  ``budget_w`` is the
+    budget *in force during that epoch* — it moves when the live budget
+    is adjusted, which is what makes violation trajectories readable.
+    """
+
+    epoch: int
+    sim_time_s: float
+    duration_s: float
+    budget_w: float
+    total_power_w: float
+    cpu_power_w: float
+    memory_power_w: float
+    cap_violated: bool
+    core_frequencies_hz: Tuple[float, ...]
+    bus_frequency_hz: float
+    instructions: float
+    active_faults: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "sim_time_s": self.sim_time_s,
+            "duration_s": self.duration_s,
+            "budget_w": self.budget_w,
+            "total_power_w": self.total_power_w,
+            "cpu_power_w": self.cpu_power_w,
+            "memory_power_w": self.memory_power_w,
+            "cap_violated": self.cap_violated,
+            "core_frequencies_hz": list(self.core_frequencies_hz),
+            "bus_frequency_hz": self.bus_frequency_hz,
+            "instructions": self.instructions,
+            "active_faults": list(self.active_faults),
+        }
+
+
+class TelemetryRing:
+    """Fixed-capacity per-epoch record store with window queries."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("telemetry capacity must be positive")
+        self.capacity = int(capacity)
+        self._ring: Deque[TelemetryRecord] = deque(maxlen=self.capacity)
+        self._appended = 0
+
+    # ------------------------------------------------------------------
+    def append(self, record: TelemetryRecord) -> None:
+        self._ring.append(record)
+        self._appended += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def total_appended(self) -> int:
+        """Epochs ever recorded, including ones that fell off the ring."""
+        return self._appended
+
+    @property
+    def dropped(self) -> int:
+        return self._appended - len(self._ring)
+
+    @property
+    def latest(self) -> Optional[TelemetryRecord]:
+        return self._ring[-1] if self._ring else None
+
+    # ------------------------------------------------------------------
+    def history(
+        self,
+        since: Optional[int] = None,
+        last: Optional[int] = None,
+    ) -> List[TelemetryRecord]:
+        """Records in epoch order.
+
+        ``since`` keeps epochs with index > ``since`` (the incremental
+        poll idiom: pass the last epoch you saw); ``last`` keeps only
+        the trailing N of whatever remains.
+        """
+        records: List[TelemetryRecord] = list(self._ring)
+        if since is not None:
+            records = [r for r in records if r.epoch > since]
+        if last is not None:
+            if last < 0:
+                raise ConfigurationError("'last' must be non-negative")
+            records = records[len(records) - min(last, len(records)) :]
+        return records
+
+    def window(self, start_epoch: int, end_epoch: int) -> List[TelemetryRecord]:
+        """Records with ``start_epoch <= epoch < end_epoch``."""
+        if end_epoch < start_epoch:
+            raise ConfigurationError("window end before start")
+        return [
+            r for r in self._ring if start_epoch <= r.epoch < end_epoch
+        ]
+
+    # ------------------------------------------------------------------
+    def summary(
+        self,
+        since: Optional[int] = None,
+        last: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Aggregate stats over a history slice (see :meth:`history`).
+
+        ``recovery_epoch`` is the epoch index after which the cap is
+        never violated again inside the slice (None when the slice ends
+        in violation; equals the slice start when it was never
+        violated) — the number the robustness scenario asserts on.
+        """
+        records = self.history(since=since, last=last)
+        base: Dict[str, Any] = {
+            "epochs": len(records),
+            "dropped": self.dropped,
+            "total_appended": self._appended,
+        }
+        if not records:
+            return base
+
+        powers = [r.total_power_w for r in records]
+        violations = [r for r in records if r.cap_violated]
+        base.update(
+            first_epoch=records[0].epoch,
+            last_epoch=records[-1].epoch,
+            budget_w=records[-1].budget_w,
+            mean_power_w=sum(powers) / len(powers),
+            max_power_w=max(powers),
+            violations=len(violations),
+            violation_epochs=[r.epoch for r in violations],
+            time_over_cap_s=sum(
+                r.duration_s for r in records if r.cap_violated
+            ),
+            recovery_epoch=(
+                None if records[-1].cap_violated
+                else (violations[-1].epoch + 1 if violations else records[0].epoch)
+            ),
+        )
+        # Fairness of per-core frequency in the latest epoch: with all
+        # cores sharing one ladder, normalized frequency is a cheap
+        # stand-in for per-core progress spread.
+        freqs = records[-1].core_frequencies_hz
+        if freqs and max(freqs) > 0:
+            norm = [f / max(freqs) for f in freqs]
+            base["frequency_jain_index"] = jain_index(norm)
+            base["frequency_gap"] = fairness_gap(norm)
+        return base

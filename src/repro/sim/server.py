@@ -27,8 +27,17 @@ ground-truth models.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -293,6 +302,47 @@ class DecideRequest:
     measure: bool = True
 
 
+@dataclass(frozen=True)
+class EpochComplete:
+    """Epoch-boundary marker yielded by :meth:`ServerSimulator.run_steps`.
+
+    Emitted after each epoch's record has been appended to the run's
+    :class:`RunResult`.  Drivers answer with ``None``; the marker is
+    what gives external drivers — most importantly the long-running
+    :mod:`repro.service` control plane — epoch-granular control: a
+    driver can pause at the marker, mutate live state (budget, think
+    scale, injected faults) and resume without ever re-entering
+    mid-epoch arithmetic.
+    """
+
+    record: EpochRecord
+    #: Per-core instructions retired so far (copy; safe to keep).
+    instructions_retired: Tuple[float, ...]
+
+
+@dataclass
+class RunControl:
+    """Live, mutable knobs an external driver can turn between epochs.
+
+    Passed to :meth:`ServerSimulator.run_steps` (and :meth:`run`);
+    consulted once at the top of every epoch:
+
+    * ``budget_fraction`` — when set and different from the run's
+      current fraction, the budget is re-derived and the policy is
+      re-budgeted in place (power-model fits survive the change; see
+      :meth:`repro.core.policy_base.ModelDrivenPolicy.update_budget`);
+    * ``stop`` — finish the run gracefully after the current epoch.
+
+    A run constructed with a control object may be *unbounded* (no
+    instruction quota, no epoch cap): the control's ``stop`` flag is
+    then the termination condition, which is exactly the service-mode
+    contract (streaming load, operator-driven shutdown).
+    """
+
+    budget_fraction: Optional[float] = None
+    stop: bool = False
+
+
 #: Process-level memo for per-core routing matrices, keyed by the app
 #: identity tuple + memory topology.  Workloads are registry singletons
 #: with stable member identities, and the cached value keeps strong
@@ -382,6 +432,94 @@ class ServerSimulator:
         #: measurement windows deterministically (independent of how
         #: many draws other consumers took from ``self._rng``).
         self._op_index = 0
+        # --- live-control hooks (service mode / fault injection) ------
+        # All default to None so batch runs stay on the exact seed code
+        # path (golden parity).  See `set_think_scale`,
+        # `set_memory_power_scale`, and `repro.service.failures`.
+        #: Streaming-load modulation: multiplies per-core think times.
+        self._think_scale: Optional[Union[float, np.ndarray]] = None
+        #: Per-controller ground-truth memory power multiplier (a
+        #: degraded controller drawing excess current).
+        self._mem_power_scale: Optional[np.ndarray] = None
+        #: Maps the policy's decided settings to what the hardware
+        #: actually applies (e.g. a stuck-frequency core).
+        self.actuation_filter: Optional[
+            Callable[[FrequencySettings], FrequencySettings]
+        ] = None
+        #: Transforms the synthesized counters before the policy sees
+        #: them (e.g. a biased power sensor).  Ground truth unaffected.
+        self.counter_filter: Optional[
+            Callable[[EpochCounters], EpochCounters]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Live-control hooks (service mode / fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def network_arrays(self) -> NetworkArrays:
+        """The live compiled network (mutated in place every epoch).
+
+        Exposed for the service layer's fault engine, which installs
+        service-time multipliers on it; everyone else should treat it
+        as read-only.
+        """
+        return self._arrays
+
+    def set_think_scale(
+        self, scale: Optional[Union[float, Sequence[float]]]
+    ) -> None:
+        """Scale per-core think times (streaming-load modulation).
+
+        ``scale < 1`` shortens the compute interval between memory
+        requests — heavier memory load, the "traffic ramps up" phase of
+        a streaming workload; ``scale > 1`` lightens it.  Scalar or
+        per-core vector; ``None`` (the default) restores the exact
+        batch-mode code path.
+        """
+        if scale is None:
+            self._think_scale = None
+            return
+        arr = np.asarray(scale, dtype=float)
+        if arr.ndim not in (0, 1) or (
+            arr.ndim == 1 and arr.shape != (self.config.n_cores,)
+        ):
+            raise ConfigurationError(
+                "think scale must be a scalar or one value per core"
+            )
+        if not np.all(arr > 0):
+            raise ConfigurationError("think scale must be positive")
+        self._think_scale = float(arr) if arr.ndim == 0 else arr.copy()
+
+    def set_memory_power_scale(
+        self, scale: Optional[Union[float, Sequence[float]]]
+    ) -> None:
+        """Scale ground-truth per-controller memory power (faults).
+
+        A degraded controller typically serves slower *and* draws more
+        current; this multiplier models the power side.  Scalar or
+        per-controller vector; ``None`` restores the healthy path.
+        """
+        if scale is None:
+            self._mem_power_scale = None
+            return
+        n_ctrl = self.config.memory.n_controllers
+        arr = np.broadcast_to(
+            np.asarray(scale, dtype=float), (n_ctrl,)
+        ).copy()
+        if not np.all(arr > 0):
+            raise ConfigurationError("memory power scale must be positive")
+        self._mem_power_scale = None if np.all(arr == 1.0) else arr
+
+    def reseed_noise(self, seed: int) -> None:
+        """Reset the counter/power noise stream to a derived seed.
+
+        The service layer calls this with a seed derived from
+        ``(session seed, epoch index)`` before every epoch, so an
+        epoch's noise draws never depend on how many draws earlier
+        control-plane activity consumed — the per-epoch twin of the
+        per-window eventsim seeding (:meth:`_eventsim_seed`).
+        """
+        self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
     # Static structure
@@ -589,6 +727,8 @@ class ServerSimulator:
         blocking_mpki = mpki * blocking_fraction
         inst_per_miss = 1000.0 / np.maximum(blocking_mpki, 1e-9)
         think = inst_per_miss * cpi_exe / core_freqs
+        if self._think_scale is not None:
+            think = think * self._think_scale
         warm_start = np.minimum(
             ips * blocking_mpki / 1000.0, 1.0 / (think + cache_time + s_m)
         )
@@ -617,6 +757,8 @@ class ServerSimulator:
             blocking_mpki = mpki * blocking_fraction
             inst_per_miss = 1000.0 / np.maximum(blocking_mpki, 1e-9)
             think = inst_per_miss * cpi_exe / core_freqs
+            if self._think_scale is not None:
+                think = think * self._think_scale
 
             # Arrival-weighted row-buffer hit rate and bank service.
             miss_rates = ips * mpki / 1000.0
@@ -688,6 +830,10 @@ class ServerSimulator:
             ).mean(axis=1),
             bus_utilization=solution.bus_utilization,
         )
+        if self._mem_power_scale is not None:
+            # Fault injection: a degraded controller draws excess power
+            # in ground truth (the policy only ever sees counters).
+            mem_powers = mem_powers * self._mem_power_scale
         # Sequential accumulation over controllers (matches the seed
         # summation order bit for bit).
         mem_power = 0.0
@@ -916,6 +1062,7 @@ class ServerSimulator:
         instruction_quota: Optional[float] = 100e6,
         max_epochs: Optional[int] = None,
         measure_decision_time: bool = True,
+        control: Optional[RunControl] = None,
     ) -> RunResult:
         """Run the workload under ``policy`` at the given budget.
 
@@ -936,6 +1083,7 @@ class ServerSimulator:
             instruction_quota=instruction_quota,
             max_epochs=max_epochs,
             measure_decision_time=measure_decision_time,
+            control=control,
         )
         response = None
         while True:
@@ -948,10 +1096,12 @@ class ServerSimulator:
                     initial_throughput=request.warm_start,
                     tolerance=request.tolerance,
                 )
-            else:
+            elif isinstance(request, DecideRequest):
                 t0 = time.perf_counter()
                 settings = request.policy.decide(request.counters)
                 response = (settings, time.perf_counter() - t0)
+            else:  # EpochComplete: batch drivers just acknowledge.
+                response = None
 
     def run_steps(
         self,
@@ -960,19 +1110,28 @@ class ServerSimulator:
         instruction_quota: Optional[float] = 100e6,
         max_epochs: Optional[int] = None,
         measure_decision_time: bool = True,
+        control: Optional[RunControl] = None,
     ):
         """The full run loop as a driver-agnostic generator.
 
-        Yields :class:`SolveRequest` (answer: :class:`MVASolution`) and
+        Yields :class:`SolveRequest` (answer: :class:`MVASolution`),
         :class:`DecideRequest` (answer: ``(FrequencySettings,
-        wall_seconds)``) and returns the finished :class:`RunResult`
-        via ``StopIteration``.  All simulation state — epoch clocks,
-        instruction accounting, counter synthesis, power integration —
-        lives in this one code path regardless of who drives it.
+        wall_seconds)``) and — after each epoch's accounting — an
+        :class:`EpochComplete` marker (answer: ``None``), and returns
+        the finished :class:`RunResult` via ``StopIteration``.  All
+        simulation state — epoch clocks, instruction accounting,
+        counter synthesis, power integration — lives in this one code
+        path regardless of who drives it.
+
+        ``control`` (a :class:`RunControl`) enables live driving: the
+        budget may be changed between epochs and the run stopped
+        gracefully; with a control object the run may be unbounded
+        (no quota, no epoch cap).
         """
-        if instruction_quota is None and max_epochs is None:
+        if instruction_quota is None and max_epochs is None and control is None:
             raise ConfigurationError(
-                "need an instruction quota or an epoch cap to terminate"
+                "need an instruction quota, an epoch cap, or a live "
+                "RunControl to terminate"
             )
         cfg = self.config
         view = self.system_view(budget_fraction)
@@ -993,6 +1152,21 @@ class ServerSimulator:
 
         epoch_index = 0
         while True:
+            if control is not None:
+                if control.stop:
+                    break
+                target = control.budget_fraction
+                if target is not None and target != budget_fraction:
+                    # Live budget change: re-derive the view and
+                    # re-budget the policy in place (fits survive when
+                    # the policy supports it).
+                    budget_fraction = target
+                    view = self.system_view(budget_fraction)
+                    rebudget = getattr(policy, "update_budget", None)
+                    if rebudget is not None:
+                        rebudget(view)
+                    else:
+                        policy.initialize(view)
             if max_epochs is not None and epoch_index >= max_epochs:
                 break
             if (
@@ -1008,6 +1182,10 @@ class ServerSimulator:
             window = cfg.epoch.profiling_s
             instructions = instructions + op_profile.per_core_ips * window
             counters = self.synthesize_counters(epoch_index, op_profile, settings)
+            if self.counter_filter is not None:
+                # Sensor faults: the policy reads doctored counters;
+                # ground-truth accounting below is untouched.
+                counters = self.counter_filter(counters)
 
             # --- decision ---------------------------------------------
             proposed, measured_s = yield DecideRequest(
@@ -1015,6 +1193,10 @@ class ServerSimulator:
             )
             decision_time = measured_s if measure_decision_time else 0.0
             new_settings = proposed.quantized(cfg)
+            if self.actuation_filter is not None:
+                # Actuation faults: the hardware applies something other
+                # than what the policy asked for (e.g. a stuck core).
+                new_settings = self.actuation_filter(new_settings).quantized(cfg)
 
             # --- transition overhead ----------------------------------
             transition = 0.0
@@ -1057,6 +1239,10 @@ class ServerSimulator:
                     decision_time_s=decision_time,
                     budget_watts=view.budget_watts,
                 )
+            )
+            yield EpochComplete(
+                record=result.epochs[-1],
+                instructions_retired=tuple(float(v) for v in instructions),
             )
 
             settings = new_settings
@@ -1102,6 +1288,8 @@ class FleetLane:
     instruction_quota: Optional[float] = 100e6
     max_epochs: Optional[int] = None
     measure_decision_time: bool = True
+    #: Optional live-control handle (service mode); see RunControl.
+    control: Optional[RunControl] = None
 
 
 class FleetSimulator:
@@ -1155,6 +1343,7 @@ class FleetSimulator:
                 instruction_quota=lane.instruction_quota,
                 max_epochs=lane.max_epochs,
                 measure_decision_time=lane.measure_decision_time,
+                control=lane.control,
             )
             for lane in self.lanes
         ]
@@ -1174,6 +1363,15 @@ class FleetSimulator:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    def serve(self, requests: Dict[int, object]) -> Dict[int, object]:
+        """Serve one lockstep tick's worth of lane requests.
+
+        Public so external epoch-stepping drivers (the service layer's
+        fleet sessions) can reuse the batching machinery; the semantics
+        are exactly those of :meth:`run`'s inner loop.
+        """
+        return self._serve(requests)
+
     def _serve(self, requests: Dict[int, object]) -> Dict[int, object]:
         """Serve one lockstep tick's worth of lane requests."""
         responses: Dict[int, object] = {}
@@ -1189,6 +1387,9 @@ class FleetSimulator:
             if isinstance(req, DecideRequest)
         }
         self._serve_decides(decides, responses)
+        for i, req in requests.items():
+            if i not in responses and isinstance(req, EpochComplete):
+                responses[i] = None
         return responses
 
     def _serve_solves(

@@ -102,3 +102,50 @@ class TestSolve:
             groups = two_sockets(budgets=(cap, cap))
             ds.append(solve_degradation_grouped(inputs, 2 * NS, groups).d)
         assert all(b >= a - 1e-9 for a, b in zip(ds, ds[1:]))
+
+
+class TestLiveAdjustmentEdgeCases:
+    """Edge shapes the service's live budget endpoint can produce."""
+
+    def test_empty_socket_is_inert(self):
+        """A budgeted socket with no member cores (a server drained
+        out of its group) must not perturb the solve."""
+        inputs = make_inputs(budget_w=24.0)
+        s_b = 2 * NS
+        base = solve_degradation_grouped(
+            inputs, s_b, two_sockets(budgets=(1000.0, 1000.0))
+        )
+        with_empty = solve_degradation_grouped(
+            inputs,
+            s_b,
+            ProcessorGroups(
+                membership=np.array([0, 0, 1, 1]),
+                budgets_w=np.array([1000.0, 1000.0, 5.0]),
+            ),
+        )
+        assert with_empty.d == pytest.approx(base.d, rel=1e-9)
+        assert with_empty.feasible
+
+    def test_group_power_of_empty_socket_is_zero(self):
+        groups = ProcessorGroups(
+            membership=np.array([0, 0]),
+            budgets_w=np.array([10.0, 5.0]),
+        )
+        np.testing.assert_allclose(
+            groups.group_power(np.array([1.0, 2.0])), [3.0, 0.0]
+        )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessorGroups(
+                membership=np.array([0, 0]),
+                budgets_w=np.array([-10.0]),
+            )
+
+    def test_empty_membership_needs_no_budget(self):
+        """Degenerate but well-formed: no cores, no constraints."""
+        groups = ProcessorGroups(
+            membership=np.array([], dtype=int),
+            budgets_w=np.array([5.0]),
+        )
+        np.testing.assert_allclose(groups.group_power(np.array([])), [0.0])

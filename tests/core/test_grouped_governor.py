@@ -54,3 +54,40 @@ def test_tight_socket_caps_its_power(config16):
         FastCapGovernor(), 0.8, instruction_quota=10e6
     )
     assert result.mean_power_w() < plain.mean_power_w()
+
+
+class TestLiveInstall:
+    """set_processor_groups: layering socket caps onto a live run."""
+
+    def test_live_install_takes_effect(self, config16):
+        sim = ServerSimulator(config16, get_workload("MID2"), seed=2)
+        governor = FastCapGovernor()
+        governor.initialize(sim.system_view(0.8))
+        assert governor.supports_fleet_decide()
+        governor.set_processor_groups(two_socket_groups((10.0, 1000.0)))
+        assert not governor.supports_fleet_decide()
+        result = sim.run(governor, 0.8, instruction_quota=10e6)
+        plain = ServerSimulator(config16, get_workload("MID2"), seed=2).run(
+            FastCapGovernor(), 0.8, instruction_quota=10e6
+        )
+        assert result.mean_power_w() < plain.mean_power_w()
+
+    def test_live_install_rejects_wrong_size(self, config16):
+        sim = ServerSimulator(config16, get_workload("MID1"), seed=2)
+        governor = FastCapGovernor()
+        governor.initialize(sim.system_view(0.6))
+        with pytest.raises(ConfigurationError):
+            governor.set_processor_groups(
+                ProcessorGroups(
+                    membership=np.array([0, 1]),
+                    budgets_w=np.array([10.0, 10.0]),
+                )
+            )
+
+    def test_clearing_restores_fleet_decide(self, config16):
+        sim = ServerSimulator(config16, get_workload("MID1"), seed=2)
+        governor = FastCapGovernor()
+        governor.initialize(sim.system_view(0.6))
+        governor.set_processor_groups(two_socket_groups((10.0, 10.0)))
+        governor.set_processor_groups(None)
+        assert governor.supports_fleet_decide()

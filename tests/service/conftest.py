@@ -1,0 +1,35 @@
+"""Service-suite fixtures: an in-process ASGI client, no sockets.
+
+Every test drives the control-plane app through the ASGI interface
+directly.  The default client is the repo's own
+:class:`~repro.service.asgi.InProcessClient` (persistent event loop,
+so background streaming tasks survive across requests); the
+httpx-transport test module exercises the same app through
+``httpx.ASGITransport`` when httpx is installed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import InProcessClient, create_app
+
+
+@pytest.fixture()
+def app():
+    return create_app()
+
+
+@pytest.fixture()
+def client(app):
+    with InProcessClient(app) as c:
+        yield c
+
+
+def make_session(client, **overrides):
+    """Create a small 4-core session and return its id."""
+    payload = dict(workload="MIX1", n_cores=4, budget_fraction=0.5, seed=3)
+    payload.update(overrides)
+    response = client.post("/sessions", json=payload)
+    assert response.status_code == 201, response.json()
+    return response.json()["id"]

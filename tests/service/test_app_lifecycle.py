@@ -1,0 +1,211 @@
+"""Session lifecycle through the HTTP API: create, step, stream, delete."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.service.conftest import make_session
+
+
+class TestMeta:
+    def test_health(self, client):
+        payload = client.get("/health").json()
+        assert payload["status"] == "ok"
+        assert payload["sessions"] == 0
+
+    def test_index_lists_routes(self, client):
+        payload = client.get("/").json()
+        assert "POST /sessions" in payload["routes"]
+        assert "GET /sessions/{sid}/telemetry" in payload["routes"]
+
+
+class TestSessionCreation:
+    def test_create_returns_status(self, client):
+        response = client.post(
+            "/sessions",
+            json={"workload": "MIX1", "n_cores": 4, "budget_fraction": 0.5},
+        )
+        assert response.status_code == 201
+        status = response.json()
+        assert status["id"] == "s1"
+        assert status["epochs_completed"] == 0
+        assert not status["finished"]
+        assert status["lanes"][0]["workload"] == "MIX1"
+        assert status["lanes"][0]["policy"] == "fastcap"
+
+    def test_ids_are_sequential(self, client):
+        assert make_session(client) == "s1"
+        assert make_session(client) == "s2"
+        listed = client.get("/sessions").json()["sessions"]
+        assert [s["id"] for s in listed] == ["s1", "s2"]
+
+    def test_unknown_field_rejected(self, client):
+        response = client.post(
+            "/sessions", json={"workload": "MIX1", "warp_speed": 9}
+        )
+        assert response.status_code == 400
+        assert "warp_speed" in response.json()["error"]
+
+    def test_missing_workload_rejected(self, client):
+        assert client.post("/sessions", json={}).status_code == 400
+
+    def test_unknown_workload_rejected(self, client):
+        response = client.post("/sessions", json={"workload": "NOPE"})
+        assert response.status_code == 400
+
+    def test_bad_engine_rejected(self, client):
+        response = client.post(
+            "/sessions", json={"workload": "MIX1", "engine": "magic"}
+        )
+        assert response.status_code == 400
+        assert "magic" in response.json()["error"]
+
+    def test_nonpositive_values_rejected(self, client):
+        for field, value in (
+            ("n_cores", 0),
+            ("epoch_ms", -1),
+            ("budget_fraction", 1.5),
+            ("telemetry_capacity", 0),
+        ):
+            response = client.post(
+                "/sessions", json={"workload": "MIX1", field: value}
+            )
+            assert response.status_code == 400, field
+
+    def test_get_unknown_session_is_400(self, client):
+        assert client.get("/sessions/s99").status_code == 400
+
+
+class TestStepping:
+    def test_step_advances_epochs(self, client):
+        sid = make_session(client)
+        payload = client.post(
+            f"/sessions/{sid}/step", json={"epochs": 3}
+        ).json()
+        assert payload["advanced"] == 3
+        assert payload["epochs_completed"] == 3
+        status = client.get(f"/sessions/{sid}").json()
+        assert status["epochs_completed"] == 3
+
+    def test_bounded_session_finishes(self, client):
+        sid = make_session(client, max_epochs=2)
+        payload = client.post(
+            f"/sessions/{sid}/step", json={"epochs": 10}
+        ).json()
+        assert payload["advanced"] == 2
+        assert payload["finished"]
+        # Further steps are a no-op, not an error.
+        again = client.post(f"/sessions/{sid}/step", json={"epochs": 1}).json()
+        assert again["advanced"] == 0
+
+    def test_step_validation(self, client):
+        sid = make_session(client)
+        assert (
+            client.post(f"/sessions/{sid}/step", json={"epochs": 0}).status_code
+            == 400
+        )
+
+    def test_delete_removes_session(self, client):
+        sid = make_session(client)
+        client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+        payload = client.delete(f"/sessions/{sid}").json()
+        assert payload == {"deleted": sid, "epochs": 2}
+        assert client.get(f"/sessions/{sid}").status_code == 400
+        assert client.get("/health").json()["sessions"] == 0
+
+
+class TestStreaming:
+    def test_run_streams_in_background(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/run", json={"epochs": 4, "pace_s": 0.0}
+        )
+        assert response.status_code == 202
+        client.pump(0.05)
+        status = client.get(f"/sessions/{sid}").json()
+        assert status["epochs_completed"] == 4
+        assert not status["running"]
+
+    def test_pause_stops_streaming(self, client):
+        sid = make_session(client)
+        client.post(f"/sessions/{sid}/run", json={"pace_s": 0.01})
+        client.pump(0.03)
+        client.post(f"/sessions/{sid}/pause")
+        frozen = client.get(f"/sessions/{sid}").json()["epochs_completed"]
+        assert frozen >= 1
+        client.pump(0.03)
+        assert (
+            client.get(f"/sessions/{sid}").json()["epochs_completed"] == frozen
+        )
+
+    def test_step_while_streaming_conflicts(self, client):
+        sid = make_session(client)
+        client.post(f"/sessions/{sid}/run", json={"pace_s": 0.01})
+        response = client.post(f"/sessions/{sid}/step", json={"epochs": 1})
+        assert response.status_code == 409
+        client.post(f"/sessions/{sid}/pause")
+
+    def test_double_run_rejected(self, client):
+        sid = make_session(client)
+        client.post(f"/sessions/{sid}/run", json={"pace_s": 0.01})
+        assert client.post(f"/sessions/{sid}/run", json={}).status_code == 400
+        client.post(f"/sessions/{sid}/pause")
+
+    def test_unbounded_session_streams_until_paused(self, client):
+        sid = make_session(client)  # no max_epochs: unbounded
+        client.post(f"/sessions/{sid}/run", json={"pace_s": 0.0})
+        client.pump(0.05)
+        client.post(f"/sessions/{sid}/pause")
+        status = client.get(f"/sessions/{sid}").json()
+        assert status["epochs_completed"] > 0
+        assert not status["finished"]
+
+
+class TestFleetSessions:
+    def test_multi_lane_session(self, client):
+        response = client.post(
+            "/sessions",
+            json={
+                "n_cores": 4,
+                "budget_fraction": 0.5,
+                "seed": 3,
+                "lanes": [
+                    {"workload": "MIX1"},
+                    {"workload": "MEM1", "budget_fraction": 0.4},
+                ],
+            },
+        )
+        assert response.status_code == 201
+        sid = response.json()["id"]
+        assert len(response.json()["lanes"]) == 2
+        client.post(f"/sessions/{sid}/step", json={"epochs": 3})
+        for lane in (0, 1):
+            records = client.get(
+                f"/sessions/{sid}/telemetry?lane={lane}"
+            ).json()["records"]
+            assert len(records) == 3
+
+    def test_lane_query_required_for_multi_lane_telemetry(self, client):
+        sid = make_session(
+            client,
+            lanes=[{"workload": "MIX1"}, {"workload": "MIX2"}],
+        )
+        assert (
+            client.get(f"/sessions/{sid}/telemetry").status_code == 400
+        )
+
+    def test_fleet_lane_matches_scalar_session(self, client):
+        """A lane driven through the fleet lockstep must produce the
+        same telemetry as the same spec in a single-lane session."""
+        fleet_sid = make_session(
+            client,
+            lanes=[{"workload": "MIX1"}, {"workload": "MEM1", "seed": 5}],
+        )
+        solo_sid = make_session(client)  # same MIX1/seed 3 spec
+        client.post(f"/sessions/{fleet_sid}/step", json={"epochs": 4})
+        client.post(f"/sessions/{solo_sid}/step", json={"epochs": 4})
+        fleet = client.get(
+            f"/sessions/{fleet_sid}/telemetry?lane=0"
+        ).json()["records"]
+        solo = client.get(f"/sessions/{solo_sid}/telemetry").json()["records"]
+        assert fleet == solo

@@ -1,0 +1,120 @@
+"""Unit tests for the dependency-free ASGI layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.asgi import (
+    ApiError,
+    InProcessClient,
+    JSONResponse,
+    Request,
+    Router,
+)
+
+
+@pytest.fixture()
+def router():
+    app = Router("test")
+
+    async def echo(request: Request):
+        return {
+            "method": request.method,
+            "params": request.path_params,
+            "query": request.query,
+            "body": request.json(),
+        }
+
+    async def boom(request: Request):
+        raise ApiError(418, "teapot", {"hint": "short and stout"})
+
+    async def crash(request: Request):
+        raise ValueError("unexpected")
+
+    async def created(request: Request):
+        return JSONResponse({"made": True}, status=201)
+
+    app.get("/items/{item_id}", echo)
+    app.post("/items/{item_id}", echo)
+    app.get("/boom", boom)
+    app.get("/crash", crash)
+    app.post("/made", created)
+    return app
+
+
+class TestRouting:
+    def test_path_params_and_query(self, router):
+        with InProcessClient(router) as client:
+            r = client.get("/items/abc%20d?x=1&y=two")
+            assert r.status_code == 200
+            assert r.json()["params"] == {"item_id": "abc d"}
+            assert r.json()["query"] == {"x": "1", "y": "two"}
+
+    def test_trailing_slash_matches(self, router):
+        with InProcessClient(router) as client:
+            assert client.get("/items/a/").status_code == 200
+
+    def test_404_unknown_path(self, router):
+        with InProcessClient(router) as client:
+            r = client.get("/nope")
+            assert r.status_code == 404
+            assert "error" in r.json()
+
+    def test_405_lists_allowed_methods(self, router):
+        with InProcessClient(router) as client:
+            r = client.delete("/items/a")
+            assert r.status_code == 405
+            assert set(r.json()["allowed"]) == {"GET", "POST"}
+
+    def test_routes_listing(self, router):
+        assert ("GET", "/items/{item_id}") in router.routes()
+
+
+class TestBodies:
+    def test_json_body_round_trip(self, router):
+        with InProcessClient(router) as client:
+            r = client.post("/items/a", json={"k": [1, 2]})
+            assert r.json()["body"] == {"k": [1, 2]}
+
+    def test_empty_body_is_empty_object(self, router):
+        with InProcessClient(router) as client:
+            assert client.post("/items/a").json()["body"] == {}
+
+    def test_api_error_payload(self, router):
+        with InProcessClient(router) as client:
+            r = client.get("/boom")
+            assert r.status_code == 418
+            assert r.json() == {
+                "error": "teapot",
+                "details": {"hint": "short and stout"},
+            }
+
+    def test_unhandled_exception_is_500(self, router):
+        with InProcessClient(router) as client:
+            r = client.get("/crash")
+            assert r.status_code == 500
+            assert "ValueError" in r.json()["error"]
+
+    def test_custom_status(self, router):
+        with InProcessClient(router) as client:
+            assert client.post("/made").status_code == 201
+
+
+class TestRequestHelpers:
+    def test_bad_json_raises_400(self):
+        request = Request("POST", "/", {}, {}, b"{not json")
+        with pytest.raises(ApiError) as err:
+            request.json()
+        assert err.value.status == 400
+
+    def test_non_object_json_rejected(self):
+        request = Request("POST", "/", {}, {}, b"[1, 2]")
+        with pytest.raises(ApiError):
+            request.json()
+
+    def test_query_int(self):
+        request = Request("GET", "/", {}, {"n": "7", "bad": "x"}, b"")
+        assert request.query_int("n") == 7
+        assert request.query_int("missing", 3) == 3
+        with pytest.raises(ApiError):
+            request.query_int("bad")

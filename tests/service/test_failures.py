@@ -1,0 +1,233 @@
+"""Failure engine: typed faults, composition, expiry, clean restore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign.runner import config_for_spec
+from repro.campaign.spec import RunSpec
+from repro.errors import ConfigurationError
+from repro.service.failures import FailureEngine
+from repro.sim.server import FrequencySettings, ServerSimulator
+from repro.workloads import get_workload
+
+from tests.service.conftest import make_session
+
+
+@pytest.fixture()
+def sim():
+    spec = RunSpec(
+        workload="MIX1",
+        policy="fastcap",
+        budget_fraction=0.5,
+        n_cores=4,
+        n_controllers=2,
+        seed=3,
+    )
+    return ServerSimulator(
+        config_for_spec(spec), get_workload("MIX1"), seed=3
+    )
+
+
+@pytest.fixture()
+def engine(sim):
+    return FailureEngine(sim, session_seed=3)
+
+
+class TestInjection:
+    def test_unknown_type_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.inject("cosmic-ray", epoch=0)
+
+    def test_memory_fault_defaults(self, engine):
+        fault = engine.inject("degraded-memory-controller", epoch=0)
+        assert fault.id == "f1"
+        assert fault.magnitude == 2.0
+        assert fault.power_scale == 1.5
+        assert fault.target == 0
+
+    def test_failed_controller_is_severe(self, engine):
+        fault = engine.inject("failed-memory-controller", epoch=0)
+        assert fault.magnitude > 2.0
+        assert fault.power_scale > 1.5
+
+    def test_controller_target_range(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.inject("degraded-memory-controller", epoch=0, target=2)
+
+    def test_core_target_range(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.inject("stuck-core-frequency", epoch=0, target=9)
+
+    def test_ids_increment(self, engine):
+        assert engine.inject("power-sensor-bias", epoch=0).id == "f1"
+        assert engine.inject("power-sensor-bias", epoch=1).id == "f2"
+
+    def test_get_unknown_fault(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.get("f9")
+
+
+class TestEffectApplication:
+    def test_memory_fault_sets_hooks_after_decision_phase(self, sim, engine):
+        engine.inject(
+            "degraded-memory-controller", epoch=0, target=1, magnitude=3.0
+        )
+        # Profiling phase of the start epoch: hardware still healthy.
+        engine.apply(0, include_starting=False)
+        assert sim.network_arrays.service_scales == (None, None)
+        # Post-decision (main segment): the fault is live.
+        engine.apply(0)
+        _, bus_scale = sim.network_arrays.service_scales
+        assert bus_scale is not None
+        assert bus_scale[1] == pytest.approx(3.0)
+        assert bus_scale[0] == pytest.approx(1.0)
+
+    def test_established_fault_active_in_profiling(self, sim, engine):
+        engine.inject("degraded-memory-controller", epoch=0)
+        engine.apply(1, include_starting=False)
+        assert sim.network_arrays.service_scales[1] is not None
+
+    def test_duration_expires_and_restores_pristine_hooks(self, sim, engine):
+        engine.inject(
+            "degraded-memory-controller", epoch=0, duration_epochs=2
+        )
+        engine.apply(1)
+        assert sim.network_arrays.service_scales[1] is not None
+        assert sim._mem_power_scale is not None
+        engine.apply(2)  # expired: every hook back to None
+        assert sim.network_arrays.service_scales == (None, None)
+        assert sim._mem_power_scale is None
+        assert sim.actuation_filter is None
+        assert sim.counter_filter is None
+
+    def test_resolve_clears_effects(self, sim, engine):
+        fault = engine.inject("power-sensor-bias", epoch=0)
+        engine.apply(3)
+        assert sim.counter_filter is not None
+        engine.resolve(fault.id, epoch=4)
+        assert fault.resolved_epoch == 4
+        assert sim.counter_filter is None
+        assert not fault.active_at(4)
+
+    def test_overlapping_faults_compose(self, sim, engine):
+        engine.inject(
+            "degraded-memory-controller", epoch=0, target=0, magnitude=2.0
+        )
+        engine.inject(
+            "degraded-memory-controller", epoch=0, target=0, magnitude=1.5
+        )
+        engine.apply(1)
+        _, bus_scale = sim.network_arrays.service_scales
+        assert bus_scale[0] == pytest.approx(3.0)
+
+    def test_stuck_core_filter_pins_core(self, sim, engine):
+        engine.inject(
+            "stuck-core-frequency", epoch=0, target=2, magnitude=1.0e9
+        )
+        engine.apply(1)
+        settings = FrequencySettings.all_max(sim.config)
+        filtered = sim.actuation_filter(settings)
+        assert filtered.core_frequencies_hz[2] == 1.0e9
+        assert (
+            filtered.core_frequencies_hz[0]
+            == settings.core_frequencies_hz[0]
+        )
+
+    def test_sensor_bias_scales_counters(self, sim, engine):
+        engine.inject("power-sensor-bias", epoch=0, magnitude=0.5)
+        engine.apply(1)
+        from repro.sim.counters import (
+            ControllerCounters,
+            CoreCounters,
+            EpochCounters,
+        )
+
+        core = CoreCounters(
+            instructions=1e6,
+            llc_misses=1e3,
+            busy_time_s=1e-4,
+            window_s=3e-4,
+            cache_time_s=1e-8,
+            frequency_hz=2.2e9,
+            power_w=2.0,
+            memory_response_s=1e-7,
+            controller_visits=(0.5, 0.5),
+        )
+        ctrl = ControllerCounters(
+            q=1.0,
+            u=1.0,
+            bank_service_s=4e-8,
+            bus_utilization=0.3,
+            arrival_rate_per_s=1e7,
+        )
+        sample = EpochCounters(
+            epoch_index=0,
+            cores=(core,),
+            controllers=(ctrl, ctrl),
+            memory_power_w=8.0,
+            total_power_w=20.0,
+            bus_frequency_hz=800e6,
+        )
+        doctored = sim.counter_filter(sample)
+        assert doctored.total_power_w == pytest.approx(30.0)
+        assert doctored.memory_power_w == pytest.approx(12.0)
+        assert doctored.cores[0].power_w == pytest.approx(3.0)
+        # Non-power fields untouched.
+        assert doctored.cores[0].instructions == core.instructions
+
+    def test_jitter_is_deterministic_per_epoch(self, sim, engine):
+        engine.inject(
+            "degraded-memory-controller", epoch=0, magnitude=2.0, jitter=0.3
+        )
+        engine.apply(5)
+        first = sim.network_arrays.service_scales[1].copy()
+        engine.apply(6)
+        second = sim.network_arrays.service_scales[1].copy()
+        engine.apply(5)
+        replay = sim.network_arrays.service_scales[1].copy()
+        assert not np.allclose(first, second)
+        assert np.allclose(first, replay)
+
+
+class TestFaultApi:
+    def test_fault_lifecycle_over_http(self, client):
+        sid = make_session(client)
+        client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+        created = client.post(
+            f"/sessions/{sid}/faults",
+            json={
+                "type": "degraded-memory-controller",
+                "duration_epochs": 3,
+            },
+        )
+        assert created.status_code == 201
+        fid = created.json()["faults"][0]["id"]
+        listed = client.get(f"/sessions/{sid}/faults").json()["faults"]
+        assert [f["id"] for f in listed] == [fid]
+        assert listed[0]["active"]
+        resolved = client.delete(f"/sessions/{sid}/faults/{fid}").json()
+        assert resolved["resolved"][0]["resolved_epoch"] == 2
+
+    def test_unknown_fault_type_over_http(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/faults", json={"type": "gremlins"}
+        )
+        assert response.status_code == 400
+        assert "gremlins" in response.json()["error"]
+
+    def test_resolve_unknown_fault(self, client):
+        sid = make_session(client)
+        assert (
+            client.delete(f"/sessions/{sid}/faults/f7").status_code == 400
+        )
+
+    def test_bad_jitter_rejected(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/faults",
+            json={"type": "power-sensor-bias", "jitter": 1.5},
+        )
+        assert response.status_code == 400

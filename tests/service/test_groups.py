@@ -1,0 +1,187 @@
+"""Budget groups: proportional-to-peak splits across sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.service.conftest import make_session
+
+
+def _peak(client, sid):
+    return client.get(f"/sessions/{sid}").json()["lanes"][0]["peak_power_w"]
+
+
+class TestGroupLifecycle:
+    def test_create_splits_proportionally_to_peak(self, client):
+        small = make_session(client, n_cores=4)
+        large = make_session(client, n_cores=16)
+        peaks = {sid: _peak(client, sid) for sid in (small, large)}
+        total = sum(peaks.values()) * 0.5
+        payload = client.post(
+            "/groups",
+            json={
+                "name": "rack-a",
+                "total_watts": total,
+                "members": [small, large],
+            },
+        )
+        assert payload.status_code == 201
+        split = payload.json()["split_w"]
+        # Proportional to peak means a single common fraction.
+        assert split[small] == pytest.approx(peaks[small] * 0.5)
+        assert split[large] == pytest.approx(peaks[large] * 0.5)
+        assert sum(split.values()) == pytest.approx(total)
+
+    def test_budget_clamped_at_peak(self, client):
+        sid = make_session(client)
+        payload = client.post(
+            "/groups",
+            json={
+                "name": "generous",
+                "total_watts": _peak(client, sid) * 3,
+                "members": [sid],
+            },
+        ).json()
+        assert payload["split_w"][sid] == pytest.approx(_peak(client, sid))
+
+    def test_group_budget_drives_telemetry(self, client):
+        sid = make_session(client, budget_fraction=0.9)
+        peak = _peak(client, sid)
+        client.post(
+            "/groups",
+            json={
+                "name": "tight",
+                "total_watts": peak * 0.45,
+                "members": [sid],
+            },
+        )
+        client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+        record = client.get(f"/sessions/{sid}/telemetry?last=1").json()[
+            "records"
+        ][0]
+        assert record["budget_w"] == pytest.approx(peak * 0.45)
+
+    def test_list_and_get(self, client):
+        sid = make_session(client)
+        client.post(
+            "/groups",
+            json={"name": "g", "total_watts": 30.0, "members": [sid]},
+        )
+        groups = client.get("/groups").json()["groups"]
+        assert [g["name"] for g in groups] == ["g"]
+        detail = client.get("/groups/g").json()
+        assert detail["members"] == [sid]
+        assert detail["total_watts"] == 30.0
+
+    def test_update_total_resplits(self, client):
+        sid = make_session(client)
+        client.post(
+            "/groups",
+            json={"name": "g", "total_watts": 30.0, "members": [sid]},
+        )
+        updated = client.patch(
+            "/groups/g", json={"total_watts": 20.0}
+        ).json()
+        assert updated["split_w"][sid] == pytest.approx(20.0)
+
+    def test_delete_group_keeps_last_budgets(self, client):
+        sid = make_session(client)
+        peak = _peak(client, sid)
+        client.post(
+            "/groups",
+            json={"name": "g", "total_watts": peak * 0.4, "members": [sid]},
+        )
+        assert client.delete("/groups/g").status_code == 200
+        assert client.get("/groups/g").status_code == 400
+        client.post(f"/sessions/{sid}/step", json={"epochs": 1})
+        record = client.get(f"/sessions/{sid}/telemetry?last=1").json()[
+            "records"
+        ][0]
+        assert record["budget_w"] == pytest.approx(peak * 0.4)
+
+
+class TestMembershipChanges:
+    def test_member_leaving_resplits_remainder(self, client):
+        a = make_session(client, n_cores=4)
+        b = make_session(client, n_cores=4)
+        peak = _peak(client, a)
+        total = peak  # half of the two-server aggregate peak
+        client.post(
+            "/groups",
+            json={"name": "g", "total_watts": total, "members": [a, b]},
+        )
+        payload = client.delete(f"/groups/g/members/{a}").json()
+        # The full pot now backs the remaining member, clamped at peak.
+        assert list(payload["split_w"]) == [b]
+        assert payload["split_w"][b] == pytest.approx(peak)
+
+    def test_deleting_session_leaves_its_group(self, client):
+        a = make_session(client)
+        b = make_session(client)
+        client.post(
+            "/groups",
+            json={"name": "g", "total_watts": 25.0, "members": [a, b]},
+        )
+        client.delete(f"/sessions/{a}")
+        detail = client.get("/groups/g").json()
+        assert detail["members"] == [b]
+
+    def test_session_cannot_join_two_groups(self, client):
+        sid = make_session(client)
+        client.post(
+            "/groups",
+            json={"name": "g1", "total_watts": 20.0, "members": [sid]},
+        )
+        response = client.post(
+            "/groups",
+            json={"name": "g2", "total_watts": 20.0, "members": [sid]},
+        )
+        assert response.status_code == 400
+        assert "g1" in response.json()["error"]
+
+
+class TestValidation:
+    def test_unknown_member_rejected(self, client):
+        response = client.post(
+            "/groups",
+            json={"name": "g", "total_watts": 20.0, "members": ["s99"]},
+        )
+        assert response.status_code == 400
+
+    def test_duplicate_name_rejected(self, client):
+        sid = make_session(client)
+        client.post(
+            "/groups",
+            json={"name": "g", "total_watts": 20.0, "members": [sid]},
+        )
+        response = client.post(
+            "/groups",
+            json={"name": "g", "total_watts": 25.0, "members": [sid]},
+        )
+        assert response.status_code == 400
+
+    def test_nonpositive_watts_rejected(self, client):
+        sid = make_session(client)
+        for watts in (0, -5):
+            response = client.post(
+                "/groups",
+                json={"name": "g", "total_watts": watts, "members": [sid]},
+            )
+            assert response.status_code == 400
+
+    def test_empty_membership_rejected(self, client):
+        response = client.post(
+            "/groups", json={"name": "g", "total_watts": 20.0, "members": []}
+        )
+        assert response.status_code == 400
+
+    def test_remove_nonmember_rejected(self, client):
+        a = make_session(client)
+        b = make_session(client)
+        client.post(
+            "/groups",
+            json={"name": "g", "total_watts": 20.0, "members": [a]},
+        )
+        assert (
+            client.delete(f"/groups/g/members/{b}").status_code == 400
+        )

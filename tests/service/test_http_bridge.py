@@ -1,0 +1,173 @@
+"""The stdlib HTTP/1.1 → ASGI bridge, driven through in-memory streams."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import create_app
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    handle_connection,
+    read_request,
+)
+
+
+class FakeWriter:
+    """Duck-typed asyncio.StreamWriter collecting everything written."""
+
+    def __init__(self):
+        self.buffer = b""
+        self.closed = False
+
+    def write(self, data: bytes) -> None:
+        self.buffer += data
+
+    async def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+    def get_extra_info(self, name: str):
+        return None
+
+
+def feed(raw: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(raw)
+    reader.feed_eof()
+    return reader
+
+
+def run(coro):
+    return asyncio.new_event_loop().run_until_complete(coro)
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        raw = b"GET /health?x=1 HTTP/1.1\r\nhost: box\r\n\r\n"
+        method, path, query, headers, body = run(read_request(feed(raw)))
+        assert method == "GET"
+        assert path == "/health"
+        assert query == b"x=1"
+        assert (b"host", b"box") in headers
+        assert body == b""
+
+    def test_post_with_content_length(self):
+        payload = b'{"workload": "MIX1"}'
+        raw = (
+            b"POST /sessions HTTP/1.1\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(payload)
+        ) + payload
+        method, path, _, _, body = run(read_request(feed(raw)))
+        assert method == "POST"
+        assert body == payload
+
+    def test_percent_decoding(self):
+        raw = b"GET /groups/rack%20a HTTP/1.1\r\n\r\n"
+        _, path, _, _, _ = run(read_request(feed(raw)))
+        assert path == "/groups/rack a"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            run(read_request(feed(b"NONSENSE\r\n\r\n")))
+
+    def test_http2_rejected(self):
+        with pytest.raises(ProtocolError):
+            run(read_request(feed(b"GET / HTTP/2\r\n\r\n")))
+
+    def test_chunked_rejected(self):
+        raw = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+        with pytest.raises(ProtocolError):
+            run(read_request(feed(raw)))
+
+    def test_bad_content_length(self):
+        raw = b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n"
+        with pytest.raises(ProtocolError):
+            run(read_request(feed(raw)))
+
+    def test_oversized_body_rejected(self):
+        raw = (
+            b"POST / HTTP/1.1\r\ncontent-length: %d\r\n\r\n"
+            % (MAX_BODY_BYTES + 1)
+        )
+        with pytest.raises(ProtocolError):
+            run(read_request(feed(raw)))
+
+    def test_malformed_header(self):
+        with pytest.raises(ProtocolError):
+            run(read_request(feed(b"GET / HTTP/1.1\r\nbogus header\r\n\r\n")))
+
+
+def _parse_response(buffer: bytes):
+    head, _, body = buffer.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n")[0].decode()
+    status = int(status_line.split(" ")[1])
+    return status, json.loads(body) if body else None
+
+
+class TestHandleConnection:
+    def test_health_round_trip(self):
+        writer = FakeWriter()
+        run(
+            handle_connection(
+                create_app(),
+                feed(b"GET /health HTTP/1.1\r\n\r\n"),
+                writer,
+            )
+        )
+        status, payload = _parse_response(writer.buffer)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert writer.closed
+        assert b"connection: close" in writer.buffer
+
+    def test_full_session_round_trip(self):
+        body = json.dumps(
+            {"workload": "MIX1", "n_cores": 4, "budget_fraction": 0.5}
+        ).encode()
+        raw = (
+            b"POST /sessions HTTP/1.1\r\ncontent-length: %d\r\n\r\n"
+            % len(body)
+        ) + body
+        writer = FakeWriter()
+        run(handle_connection(create_app(), feed(raw), writer))
+        status, payload = _parse_response(writer.buffer)
+        assert status == 201
+        assert payload["id"] == "s1"
+
+    def test_protocol_error_answered_with_400(self):
+        writer = FakeWriter()
+        run(
+            handle_connection(
+                create_app(), feed(b"GARBAGE\r\n\r\n"), writer
+            )
+        )
+        status, payload = _parse_response(writer.buffer)
+        assert status == 400
+        assert "bad request" in payload["error"]
+        assert writer.closed
+
+    def test_truncated_request_answered_with_400(self):
+        writer = FakeWriter()
+        run(
+            handle_connection(
+                create_app(), feed(b"GET /health HTTP/1.1\r\n"), writer
+            )
+        )
+        status, _ = _parse_response(writer.buffer)
+        assert status == 400
+
+    def test_unknown_route_propagates_404(self):
+        writer = FakeWriter()
+        run(
+            handle_connection(
+                create_app(), feed(b"GET /nope HTTP/1.1\r\n\r\n"), writer
+            )
+        )
+        status, _ = _parse_response(writer.buffer)
+        assert status == 404

@@ -1,0 +1,48 @@
+"""Compatibility with a real ASGI client (httpx), when installed.
+
+The in-process client covers everything functionally; this module
+only proves the app speaks genuine ASGI 3 to third-party tooling.
+Skipped on bare installs — ``pip install .[service]`` pulls httpx in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+httpx = pytest.importorskip("httpx")
+
+from repro.service import create_app
+
+
+@pytest.fixture()
+def client():
+    transport = httpx.ASGITransport(app=create_app())
+    with httpx.Client(
+        transport=transport, base_url="http://service"
+    ) as client:
+        yield client
+
+
+def test_health(client):
+    response = client.get("/health")
+    assert response.status_code == 200
+    assert response.json()["status"] == "ok"
+
+
+def test_session_create_and_step(client):
+    created = client.post(
+        "/sessions",
+        json={"workload": "MIX1", "n_cores": 4, "budget_fraction": 0.5},
+    )
+    assert created.status_code == 201
+    sid = created.json()["id"]
+    stepped = client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+    assert stepped.json()["advanced"] == 2
+    records = client.get(f"/sessions/{sid}/telemetry").json()["records"]
+    assert len(records) == 2
+
+
+def test_error_shape(client):
+    response = client.post("/sessions", json={"workload": "NOPE"})
+    assert response.status_code == 400
+    assert "error" in response.json()

@@ -1,0 +1,198 @@
+"""Live budget adjustment: per-server, per-socket, and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import create_app
+from repro.service.asgi import InProcessClient
+
+from tests.service.conftest import make_session
+
+
+class TestServerBudget:
+    def test_fraction_change_applies_next_epoch(self, client):
+        sid = make_session(client)
+        client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+        before = client.get(f"/sessions/{sid}/telemetry?last=1").json()
+        payload = client.post(
+            f"/sessions/{sid}/budget", json={"budget_fraction": 0.4}
+        ).json()
+        assert payload["applied"][0]["budget_fraction"] == 0.4
+        client.post(f"/sessions/{sid}/step", json={"epochs": 1})
+        after = client.get(f"/sessions/{sid}/telemetry?last=1").json()
+        assert (
+            after["records"][0]["budget_w"]
+            < before["records"][0]["budget_w"]
+        )
+
+    def test_budget_watts_converted_against_peak(self, client):
+        sid = make_session(client)
+        status = client.get(f"/sessions/{sid}").json()
+        peak = status["lanes"][0]["peak_power_w"]
+        payload = client.post(
+            f"/sessions/{sid}/budget", json={"budget_watts": peak / 2}
+        ).json()
+        assert payload["applied"][0]["budget_fraction"] == pytest.approx(0.5)
+        assert payload["applied"][0]["budget_w"] == pytest.approx(peak / 2)
+
+    def test_watts_beyond_peak_rejected(self, client):
+        sid = make_session(client)
+        peak = client.get(f"/sessions/{sid}").json()["lanes"][0][
+            "peak_power_w"
+        ]
+        response = client.post(
+            f"/sessions/{sid}/budget", json={"budget_watts": peak * 2}
+        )
+        assert response.status_code == 400
+
+    def test_zero_and_negative_budgets_rejected(self, client):
+        sid = make_session(client)
+        for body in (
+            {"budget_fraction": 0},
+            {"budget_fraction": -0.5},
+            {"budget_watts": 0},
+            {"budget_watts": -10},
+            {"budget_fraction": 1.2},
+        ):
+            response = client.post(f"/sessions/{sid}/budget", json=body)
+            assert response.status_code == 400, body
+
+    def test_both_fraction_and_watts_rejected(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/budget",
+            json={"budget_fraction": 0.5, "budget_watts": 30},
+        )
+        assert response.status_code == 400
+
+    def test_empty_update_rejected(self, client):
+        sid = make_session(client)
+        assert (
+            client.post(f"/sessions/{sid}/budget", json={}).status_code == 400
+        )
+
+    def test_lane_targeted_budget(self, client):
+        sid = make_session(
+            client,
+            lanes=[{"workload": "MIX1"}, {"workload": "MEM1"}],
+        )
+        client.post(
+            f"/sessions/{sid}/budget",
+            json={"budget_fraction": 0.35, "lane": 1},
+        )
+        client.post(f"/sessions/{sid}/step", json={"epochs": 1})
+        lane0 = client.get(f"/sessions/{sid}/telemetry?lane=0").json()
+        lane1 = client.get(f"/sessions/{sid}/telemetry?lane=1").json()
+        assert lane1["records"][-1]["budget_w"] < lane0["records"][-1][
+            "budget_w"
+        ]
+
+    def test_unknown_lane_rejected(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/budget",
+            json={"budget_fraction": 0.4, "lane": 3},
+        )
+        assert response.status_code == 400
+
+    def test_power_fits_survive_budget_change(self, app):
+        """The whole point of RunControl + update_budget: a budget step
+        must not reset the learned power models."""
+        with InProcessClient(app) as client:
+            sid = make_session(client)
+            client.post(f"/sessions/{sid}/step", json={"epochs": 4})
+            lane = app.manager.get(sid).lanes[0]
+            fitters_before = lane.policy._core_fitters
+            points_before = [f.n_points for f in fitters_before]
+            assert any(n > 0 for n in points_before)
+            client.post(
+                f"/sessions/{sid}/budget", json={"budget_fraction": 0.4}
+            )
+            client.post(f"/sessions/{sid}/step", json={"epochs": 1})
+            assert lane.policy._core_fitters is fitters_before
+            assert [f.n_points for f in lane.policy._core_fitters] >= (
+                points_before
+            )
+
+
+class TestProcessorGroups:
+    def test_socket_budgets_install_live(self, client):
+        sid = make_session(client)
+        client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+        response = client.post(
+            f"/sessions/{sid}/budget",
+            json={
+                "processor_groups": {
+                    "membership": [0, 0, 1, 1],
+                    "budgets_w": [6.0, 6.0],
+                }
+            },
+        )
+        assert response.status_code == 200
+        # The grouped governor still runs (its per-lane decide path).
+        payload = client.post(
+            f"/sessions/{sid}/step", json={"epochs": 2}
+        ).json()
+        assert payload["advanced"] == 2
+
+    def test_clear_processor_groups(self, client):
+        sid = make_session(client)
+        client.post(
+            f"/sessions/{sid}/budget",
+            json={
+                "processor_groups": {
+                    "membership": [0, 0, 1, 1],
+                    "budgets_w": [6.0, 6.0],
+                }
+            },
+        )
+        response = client.post(
+            f"/sessions/{sid}/budget", json={"clear_processor_groups": True}
+        )
+        assert response.status_code == 200
+        assert (
+            client.post(f"/sessions/{sid}/step", json={"epochs": 1})
+            .json()["advanced"]
+            == 1
+        )
+
+    def test_membership_size_must_match_cores(self, client):
+        sid = make_session(client)  # 4 cores
+        response = client.post(
+            f"/sessions/{sid}/budget",
+            json={
+                "processor_groups": {
+                    "membership": [0, 0, 1],
+                    "budgets_w": [6.0, 6.0],
+                }
+            },
+        )
+        assert response.status_code == 400
+
+    def test_negative_socket_budget_rejected(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/budget",
+            json={
+                "processor_groups": {
+                    "membership": [0, 0, 0, 0],
+                    "budgets_w": [-5.0],
+                }
+            },
+        )
+        assert response.status_code == 400
+
+    def test_groups_on_heuristic_policy_rejected(self, client):
+        sid = make_session(client, policy="eql-pwr")
+        response = client.post(
+            f"/sessions/{sid}/budget",
+            json={
+                "processor_groups": {
+                    "membership": [0, 0, 0, 0],
+                    "budgets_w": [10.0],
+                }
+            },
+        )
+        assert response.status_code == 400
+        assert "does not support" in response.json()["error"]

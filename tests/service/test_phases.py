@@ -1,0 +1,155 @@
+"""Streaming load phases: schedule validation and live effects."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.service.conftest import make_session
+
+
+class TestValidation:
+    def test_empty_schedule_rejected(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/phases", json={"phases": []}
+        )
+        assert response.status_code == 400
+
+    def test_nonfinal_phase_needs_duration(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/phases",
+            json={
+                "phases": [
+                    {"think_scale": 0.5},  # no duration, but not last
+                    {"duration_epochs": 2},
+                ]
+            },
+        )
+        assert response.status_code == 400
+
+    def test_nonpositive_think_scale_rejected(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/phases",
+            json={"phases": [{"duration_epochs": 2, "think_scale": 0}]},
+        )
+        assert response.status_code == 400
+
+    def test_final_phase_may_hold_forever(self, client):
+        sid = make_session(client)
+        response = client.post(
+            f"/sessions/{sid}/phases",
+            json={"phases": [{"think_scale": 0.5}]},
+        )
+        assert response.status_code == 200
+
+
+class TestEffects:
+    def test_heavier_phase_changes_behaviour(self, client):
+        """think_scale < 1 shortens think time: the same workload
+        under the same seed must produce different telemetry once the
+        phase kicks in."""
+        base_sid = make_session(client)
+        phased_sid = make_session(client)
+        client.post(
+            f"/sessions/{phased_sid}/phases",
+            json={"phases": [{"think_scale": 0.5}]},
+        )
+        client.post(f"/sessions/{base_sid}/step", json={"epochs": 3})
+        client.post(f"/sessions/{phased_sid}/step", json={"epochs": 3})
+        base = client.get(f"/sessions/{base_sid}/telemetry").json()["records"]
+        phased = client.get(f"/sessions/{phased_sid}/telemetry").json()[
+            "records"
+        ]
+        assert base != phased
+        # Shorter think time -> higher throughput per epoch.
+        assert phased[-1]["instructions"] > base[-1]["instructions"]
+
+    def test_schedule_exhaustion_restores_nominal_load(self, app):
+        """After a finite schedule ends, the think-scale hook must be
+        cleared so the lane returns to nominal load."""
+        from repro.service.asgi import InProcessClient
+
+        with InProcessClient(app) as client:
+            sid = make_session(client)
+            client.post(
+                f"/sessions/{sid}/phases",
+                json={"phases": [{"duration_epochs": 2, "think_scale": 0.5}]},
+            )
+            lane = app.manager.get(sid).lanes[0]
+            client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+            assert lane.simulator._think_scale == pytest.approx(0.5)
+            client.post(f"/sessions/{sid}/step", json={"epochs": 1})
+            assert lane.simulator._think_scale is None
+
+    def test_phase_budget_override(self, client):
+        sid = make_session(client)
+        client.post(
+            f"/sessions/{sid}/phases",
+            json={
+                "phases": [
+                    {
+                        "duration_epochs": 2,
+                        "think_scale": 1.0,
+                        "budget_fraction": 0.35,
+                    }
+                ]
+            },
+        )
+        client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+        records = client.get(f"/sessions/{sid}/telemetry").json()["records"]
+        assert records[0]["budget_w"] == pytest.approx(
+            records[1]["budget_w"]
+        )
+        assert records[0]["budget_w"] < 28.0  # 0.35 of the 4-core peak
+
+    def test_multi_phase_sequence(self, client):
+        """Two phases with different intensities: the boundary must be
+        visible in per-epoch instruction throughput."""
+        sid = make_session(client)
+        client.post(
+            f"/sessions/{sid}/phases",
+            json={
+                "phases": [
+                    {"duration_epochs": 3, "think_scale": 1.0},
+                    {"duration_epochs": 3, "think_scale": 0.4},
+                ]
+            },
+        )
+        client.post(f"/sessions/{sid}/step", json={"epochs": 6})
+        records = client.get(f"/sessions/{sid}/telemetry").json()["records"]
+        light = [r["instructions"] for r in records[:3]]
+        heavy = [r["instructions"] for r in records[3:]]
+        assert max(light) < min(heavy)
+
+    def test_replace_resets_schedule(self, client):
+        sid = make_session(client)
+        client.post(
+            f"/sessions/{sid}/phases",
+            json={"phases": [{"think_scale": 0.3}]},
+        )
+        payload = client.post(
+            f"/sessions/{sid}/phases",
+            json={"phases": [{"think_scale": 1.0}], "replace": True},
+        ).json()
+        assert payload["phases_queued"] == 1
+
+    def test_append_extends_schedule(self, client):
+        sid = make_session(client)
+        client.post(
+            f"/sessions/{sid}/phases",
+            json={"phases": [{"duration_epochs": 1, "think_scale": 0.5}]},
+        )
+        client.post(
+            f"/sessions/{sid}/phases",
+            json={
+                "phases": [{"duration_epochs": 1, "think_scale": 0.8}],
+                "replace": False,
+            },
+        )
+        assert (
+            client.post(f"/sessions/{sid}/step", json={"epochs": 3})
+            .json()["advanced"]
+            == 3
+        )

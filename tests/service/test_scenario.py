@@ -1,0 +1,156 @@
+"""Headline robustness scenario and reproducibility guarantees.
+
+The acceptance trajectory: a memory controller degrades mid-run, the
+ground-truth power exceeds the cap for a bounded number of epochs, and
+FastCap pulls the server back under budget — all visible through the
+telemetry endpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import create_app, epoch_seed
+from repro.service.asgi import InProcessClient
+
+from tests.service.conftest import make_session
+
+SCENARIO = {
+    "workload": "MIX1",
+    "n_cores": 4,
+    "budget_fraction": 0.5,
+    "seed": 3,
+}
+
+
+class TestRobustnessScenario:
+    def test_degraded_controller_violation_and_recovery(self, client):
+        sid = make_session(client, **SCENARIO)
+        client.post(f"/sessions/{sid}/step", json={"epochs": 10})
+        pre = client.get(f"/sessions/{sid}/telemetry/summary").json()
+        assert pre["violations"] == 0
+
+        created = client.post(
+            f"/sessions/{sid}/faults",
+            json={"type": "degraded-memory-controller", "power_scale": 1.6},
+        )
+        assert created.status_code == 201
+        client.post(f"/sessions/{sid}/step", json={"epochs": 30})
+
+        post = client.get(
+            f"/sessions/{sid}/telemetry/summary?since=9"
+        ).json()
+        # The fault lands in epoch 10's main segment: profiling saw a
+        # healthy machine, so the governor's settings overshoot.
+        assert post["violations"] >= 1
+        assert post["violation_epochs"][0] == 10
+        # Recovery is bounded: one profiling window at the faulted
+        # operating point is enough for the online fits to re-anchor.
+        assert post["recovery_epoch"] is not None
+        assert post["recovery_epoch"] <= 15
+        # The overshoot is physical, not a rounding artifact.
+        budget = post["budget_w"]
+        assert post["max_power_w"] > budget * 1.02
+
+        records = client.get(f"/sessions/{sid}/telemetry?since=9").json()[
+            "records"
+        ]
+        by_epoch = {r["epoch"]: r for r in records}
+        assert by_epoch[10]["cap_violated"]
+        assert by_epoch[10]["active_faults"] == ["f1"]
+        recovered = [
+            r
+            for r in records
+            if r["epoch"] >= post["recovery_epoch"]
+        ]
+        assert recovered and all(
+            not r["cap_violated"] for r in recovered
+        )
+
+    def test_fault_visible_in_status(self, client):
+        sid = make_session(client, **SCENARIO)
+        client.post(f"/sessions/{sid}/step", json={"epochs": 3})
+        client.post(
+            f"/sessions/{sid}/faults",
+            json={"type": "degraded-memory-controller"},
+        )
+        client.post(f"/sessions/{sid}/step", json={"epochs": 1})
+        status = client.get(f"/sessions/{sid}").json()
+        assert status["lanes"][0]["active_faults"] == ["f1"]
+
+
+def _run_trajectory(pause_points=()):
+    """Drive the scenario, optionally splitting the stepping at the
+    given epoch counts, and return the full telemetry history."""
+    with InProcessClient(create_app()) as client:
+        sid = make_session(client, **SCENARIO)
+        client.post(f"/sessions/{sid}/step", json={"epochs": 10})
+        client.post(
+            f"/sessions/{sid}/faults",
+            json={"type": "degraded-memory-controller", "power_scale": 1.6},
+        )
+        remaining = 20
+        for chunk in pause_points:
+            client.post(f"/sessions/{sid}/step", json={"epochs": chunk})
+            remaining -= chunk
+        client.post(f"/sessions/{sid}/step", json={"epochs": remaining})
+        return client.get(f"/sessions/{sid}/telemetry").json()["records"]
+
+
+class TestDeterminism:
+    def test_identical_sessions_replay_identically(self):
+        first = _run_trajectory()
+        second = _run_trajectory()
+        assert first == second
+
+    def test_step_granularity_does_not_change_trajectory(self):
+        """Pausing at epoch boundaries and resuming must be invisible:
+        chunked stepping replays the one-shot run byte for byte."""
+        straight = _run_trajectory()
+        chunked = _run_trajectory(pause_points=(1, 7, 3, 4))
+        assert straight == chunked
+
+    def test_epoch_seed_is_pure(self):
+        assert epoch_seed(3, 7) == epoch_seed(3, 7)
+        assert epoch_seed(3, 7) != epoch_seed(3, 8)
+        assert epoch_seed(3, 7) != epoch_seed(4, 7)
+        assert epoch_seed(3, 7, lane=0) != epoch_seed(3, 7, lane=1)
+
+    def test_different_seed_draws_different_noise(self, app):
+        """Telemetry is ground truth, and the quantized DVFS decisions
+        can coincide across seeds — but the noisy observations feeding
+        the online power fits must differ."""
+        with InProcessClient(app) as client:
+            base = make_session(client, **SCENARIO)
+            other = make_session(client, **{**SCENARIO, "seed": 11})
+            client.post(f"/sessions/{base}/step", json={"epochs": 4})
+            client.post(f"/sessions/{other}/step", json={"epochs": 4})
+            draws = []
+            for sid in (base, other):
+                sim = app.manager.get(sid).lanes[0].simulator
+                draws.append(sim._rng.random())
+            assert draws[0] != draws[1]
+
+
+class TestRecoveryBound:
+    def test_resolved_fault_returns_to_prefault_power(self, client):
+        """Resolving the fault restores the healthy hardware model, so
+        steady-state power should settle near the pre-fault level."""
+        sid = make_session(client, **SCENARIO)
+        client.post(f"/sessions/{sid}/step", json={"epochs": 10})
+        pre = client.get(
+            f"/sessions/{sid}/telemetry/summary"
+        ).json()["mean_power_w"]
+        created = client.post(
+            f"/sessions/{sid}/faults",
+            json={"type": "degraded-memory-controller", "power_scale": 1.6},
+        ).json()
+        fid = created["faults"][0]["id"]
+        client.post(f"/sessions/{sid}/step", json={"epochs": 10})
+        client.delete(f"/sessions/{sid}/faults/{fid}")
+        client.post(f"/sessions/{sid}/step", json={"epochs": 10})
+        tail = client.get(
+            f"/sessions/{sid}/telemetry/summary?since=24"
+        ).json()
+        assert tail["violations"] == 0
+        assert tail["mean_power_w"] == pytest.approx(pre, rel=0.15)

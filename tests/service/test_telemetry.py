@@ -1,0 +1,122 @@
+"""Unit tests for the bounded telemetry ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.telemetry import TelemetryRecord, TelemetryRing
+
+
+def record(epoch: int, power: float = 50.0, violated: bool = False):
+    return TelemetryRecord(
+        epoch=epoch,
+        sim_time_s=0.005 * (epoch + 1),
+        duration_s=0.005,
+        budget_w=60.0,
+        total_power_w=power,
+        cpu_power_w=power * 0.6,
+        memory_power_w=power * 0.2,
+        cap_violated=violated,
+        core_frequencies_hz=(2.0e9, 2.2e9),
+        bus_frequency_hz=400e6,
+        instructions=1e8,
+        active_faults=(),
+    )
+
+
+class TestRing:
+    def test_capacity_bounds_memory(self):
+        ring = TelemetryRing(capacity=5)
+        for e in range(12):
+            ring.append(record(e))
+        assert len(ring) == 5
+        assert ring.total_appended == 12
+        assert ring.dropped == 7
+        assert [r.epoch for r in ring.history()] == [7, 8, 9, 10, 11]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryRing(capacity=0)
+
+    def test_history_since_and_last(self):
+        ring = TelemetryRing(capacity=100)
+        for e in range(10):
+            ring.append(record(e))
+        assert [r.epoch for r in ring.history(since=6)] == [7, 8, 9]
+        assert [r.epoch for r in ring.history(last=2)] == [8, 9]
+        assert [r.epoch for r in ring.history(since=4, last=2)] == [8, 9]
+        assert ring.history(since=99) == []
+
+    def test_negative_last_rejected(self):
+        ring = TelemetryRing(capacity=10)
+        with pytest.raises(ConfigurationError):
+            ring.history(last=-1)
+
+    def test_window(self):
+        ring = TelemetryRing(capacity=100)
+        for e in range(10):
+            ring.append(record(e))
+        assert [r.epoch for r in ring.window(3, 6)] == [3, 4, 5]
+        with pytest.raises(ConfigurationError):
+            ring.window(6, 3)
+
+    def test_latest(self):
+        ring = TelemetryRing(capacity=4)
+        assert ring.latest is None
+        ring.append(record(0))
+        ring.append(record(1))
+        assert ring.latest.epoch == 1
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        summary = TelemetryRing(capacity=4).summary()
+        assert summary["epochs"] == 0
+        assert "mean_power_w" not in summary
+
+    def test_violation_accounting(self):
+        ring = TelemetryRing(capacity=100)
+        for e in range(8):
+            ring.append(record(e, power=70.0 if e in (2, 3) else 55.0,
+                               violated=e in (2, 3)))
+        summary = ring.summary()
+        assert summary["violations"] == 2
+        assert summary["violation_epochs"] == [2, 3]
+        assert summary["max_power_w"] == 70.0
+        assert summary["time_over_cap_s"] == pytest.approx(0.01)
+        # Cap regained at epoch 4 and held to the end of the slice.
+        assert summary["recovery_epoch"] == 4
+
+    def test_recovery_epoch_none_while_still_violating(self):
+        ring = TelemetryRing(capacity=100)
+        ring.append(record(0))
+        ring.append(record(1, power=70.0, violated=True))
+        assert ring.summary()["recovery_epoch"] is None
+
+    def test_recovery_epoch_when_never_violated(self):
+        ring = TelemetryRing(capacity=100)
+        ring.append(record(3))
+        ring.append(record(4))
+        assert ring.summary()["recovery_epoch"] == 3
+
+    def test_summary_slice_follows_history_args(self):
+        ring = TelemetryRing(capacity=100)
+        for e in range(10):
+            ring.append(record(e, violated=e < 5))
+        sliced = ring.summary(since=4)
+        assert sliced["first_epoch"] == 5
+        assert sliced["violations"] == 0
+
+    def test_fairness_fields_present(self):
+        ring = TelemetryRing(capacity=4)
+        ring.append(record(0))
+        summary = ring.summary()
+        assert 0 < summary["frequency_jain_index"] <= 1.0
+        assert summary["frequency_gap"] >= 1.0
+
+    def test_record_as_dict_is_json_native(self):
+        payload = record(1).as_dict()
+        assert payload["epoch"] == 1
+        assert isinstance(payload["core_frequencies_hz"], list)
+        assert isinstance(payload["active_faults"], list)

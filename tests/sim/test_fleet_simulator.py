@@ -23,6 +23,7 @@ from repro.errors import ConfigurationError
 from repro.policies.registry import make_policy
 from repro.sim.server import (
     DecideRequest,
+    EpochComplete,
     FleetLane,
     FleetSimulator,
     ServerSimulator,
@@ -129,7 +130,8 @@ class TestFleetSimulatorStructure:
             FleetSimulator([])
 
     def test_run_steps_protocol_shape(self):
-        """The generator yields solve/decide requests in epoch order."""
+        """The generator yields solve/decide requests in epoch order,
+        closing each epoch with an ``EpochComplete`` marker."""
         spec = _spec(max_epochs=1)
         lane = _lane(spec)
         gen = lane.simulator.run_steps(
@@ -153,17 +155,24 @@ class TestFleetSimulatorStructure:
                     initial_throughput=request.warm_start,
                     tolerance=request.tolerance,
                 )
-            else:
-                assert isinstance(request, DecideRequest)
+            elif isinstance(request, DecideRequest):
                 kinds.append("decide")
                 response = (request.policy.decide(request.counters), 0.0)
-        # One epoch: profile solves, one decision, then main solves.
+            else:
+                assert isinstance(request, EpochComplete)
+                assert request.record.index == kinds.count("epoch")
+                assert len(request.instructions_retired) == spec.n_cores
+                kinds.append("epoch")
+                response = None
+        # One epoch: profile solves, one decision, main solves, marker.
         assert kinds.count("decide") == 1
+        assert kinds.count("epoch") == 1
+        assert kinds[-1] == "epoch"
         profile_solves = kinds.index("decide")
         assert profile_solves >= 1
-        assert kinds[profile_solves + 1 :].count("solve") == len(
+        assert kinds[profile_solves + 1 : -1].count("solve") == len(
             kinds
-        ) - profile_solves - 1
+        ) - profile_solves - 2
         assert result.n_epochs == 1
 
     def test_decision_times_recorded_when_measured(self):

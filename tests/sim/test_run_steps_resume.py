@@ -1,0 +1,272 @@
+"""run_steps pause/resume: generators are time-agnostic and the live
+controls are epoch-synchronous.
+
+A "pause" for a request-yielding generator is simply not calling
+``send`` — these tests pin the properties that make that safe to build
+a service on: arbitrary interleaving with other generators changes
+nothing, and mutations made while paused mid-epoch (budget, think
+scale) only take effect at the next epoch boundary, identically under
+the scalar driver and the fleet driver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import RunSpec
+from repro.campaign.runner import config_for_spec, resolved_policy_name
+from repro.policies.registry import make_policy
+from repro.sim.server import (
+    DecideRequest,
+    EpochComplete,
+    FleetLane,
+    FleetSimulator,
+    RunControl,
+    ServerSimulator,
+    SolveRequest,
+)
+from repro.workloads import get_workload
+
+from tests.golden_grid import result_content_hash
+
+
+def _spec(**overrides) -> RunSpec:
+    base = dict(
+        workload="MIX1",
+        policy="fastcap",
+        budget_fraction=0.6,
+        n_cores=4,
+        max_epochs=6,
+        instruction_quota=None,
+        seed=3,
+        record_decision_time=False,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _sim(spec: RunSpec) -> ServerSimulator:
+    return ServerSimulator(
+        config_for_spec(spec), get_workload(spec.workload), seed=spec.seed
+    )
+
+
+def _gen(sim, spec, control=None):
+    return sim.run_steps(
+        make_policy(resolved_policy_name(spec)),
+        spec.budget_fraction,
+        instruction_quota=spec.instruction_quota,
+        max_epochs=spec.max_epochs,
+        measure_decision_time=False,
+        control=control,
+    )
+
+
+def _answer(sim, request):
+    """Serve one request exactly like the scalar driver does."""
+    if isinstance(request, SolveRequest):
+        return sim._solver.solve(
+            initial_throughput=request.warm_start,
+            tolerance=request.tolerance,
+        )
+    if isinstance(request, DecideRequest):
+        return (request.policy.decide(request.counters), 0.0)
+    return None
+
+
+def _drive(sim, gen, on_epoch=None):
+    """Run a generator to completion with per-epoch callbacks."""
+    response = None
+    while True:
+        try:
+            request = gen.send(response)
+        except StopIteration as stop:
+            return stop.value
+        if isinstance(request, EpochComplete) and on_epoch is not None:
+            on_epoch(request)
+        response = _answer(sim, request)
+
+
+class TestInterleaving:
+    def test_round_robin_interleave_matches_straight_runs(self):
+        """Two generators advanced alternately one request at a time —
+        each effectively pausing while the other works — produce
+        byte-identical results to uninterrupted runs."""
+        specs = (_spec(), _spec(workload="MEM1", budget_fraction=0.4))
+        straight = []
+        for spec in specs:
+            sim = _sim(spec)
+            straight.append(_drive(sim, _gen(sim, spec)))
+
+        sims = [_sim(spec) for spec in specs]
+        gens = [_gen(sim, spec) for sim, spec in zip(sims, specs)]
+        responses = [None, None]
+        results = [None, None]
+        while any(r is None for r in results):
+            for i in range(2):
+                if results[i] is not None:
+                    continue
+                try:
+                    request = gens[i].send(responses[i])
+                except StopIteration as stop:
+                    results[i] = stop.value
+                    continue
+                responses[i] = _answer(sims[i], request)
+
+        for interleaved, reference in zip(results, straight):
+            assert result_content_hash(interleaved) == result_content_hash(
+                reference
+            )
+
+    def test_abandon_and_resume_at_solve_request(self):
+        """Hold a generator at a mid-epoch solve indefinitely (other
+        work happens in between), then resume: identical outcome."""
+        spec = _spec()
+        sim_ref = _sim(spec)
+        reference = _drive(sim_ref, _gen(sim_ref, spec))
+
+        sim = _sim(spec)
+        gen = _gen(sim, spec)
+        pending = gen.send(None)
+        solves_seen = 0
+        response = _answer(sim, pending)
+        while True:
+            request = gen.send(response)
+            if isinstance(request, SolveRequest):
+                solves_seen += 1
+                if solves_seen == 3:
+                    break
+            response = _answer(sim, request)
+        # Paused at the third solve. Unrelated work runs here — a
+        # whole other simulation — without touching the paused lane.
+        other_spec = _spec(workload="ILP1", max_epochs=2)
+        other = _sim(other_spec)
+        _drive(other, _gen(other, other_spec))
+        # Resume: answer the held request and drive to completion.
+        response = _answer(sim, request)
+        resumed = _drive(sim, _generator_tail(gen, sim, response))
+        assert result_content_hash(resumed) == result_content_hash(reference)
+
+
+def _generator_tail(gen, sim, first_response):
+    """Adapter so _drive can finish a partially-driven generator."""
+
+    class _Tail:
+        def __init__(self):
+            self._first = True
+
+        def send(self, response):
+            if self._first:
+                self._first = False
+                return gen.send(first_response)
+            return gen.send(response)
+
+    return _Tail()
+
+
+class TestLiveMutation:
+    def test_budget_mutation_mid_epoch_defers_to_next_boundary(self):
+        """Setting control.budget_fraction while paused inside epoch 2
+        must not disturb epoch 2; epoch 3 runs at the new budget."""
+        spec = _spec()
+        control = RunControl()
+        sim = _sim(spec)
+        gen = _gen(sim, spec, control=control)
+        peak = sim.config.power.peak_power_w
+
+        response = None
+        epochs_done = 0
+        mutated = False
+        while True:
+            try:
+                request = gen.send(response)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            if isinstance(request, EpochComplete):
+                epochs_done += 1
+            elif (
+                isinstance(request, SolveRequest)
+                and epochs_done == 2
+                and not mutated
+            ):
+                # Paused mid-epoch-2: operator turns the budget down.
+                control.budget_fraction = 0.4
+                mutated = True
+            response = _answer(sim, request)
+
+        budgets = [r.budget_watts for r in result.epochs]
+        assert budgets[2] == pytest.approx(0.6 * peak)
+        assert budgets[3] == pytest.approx(0.4 * peak)
+        assert budgets[5] == pytest.approx(0.4 * peak)
+
+    def test_scalar_and_fleet_agree_under_identical_mutations(self):
+        """The same pause-and-mutate schedule (budget down, think time
+        shortened after epoch 2) applied through the scalar driver and
+        through FleetSimulator.serve lockstep yields byte-identical
+        per-lane results."""
+        specs = (_spec(), _spec(workload="MEM2", budget_fraction=0.5))
+
+        def mutate(sim, control, marker):
+            if marker.record.index == 2:
+                control.budget_fraction = 0.35
+                sim.set_think_scale(0.7)
+
+        scalar_results = []
+        for spec in specs:
+            control = RunControl()
+            sim = _sim(spec)
+            scalar_results.append(
+                _drive(
+                    sim,
+                    _gen(sim, spec, control=control),
+                    on_epoch=lambda m, s=sim, c=control: mutate(s, c, m),
+                )
+            )
+
+        lanes = []
+        for spec in specs:
+            sim = _sim(spec)
+            lanes.append(
+                FleetLane(
+                    simulator=sim,
+                    policy=make_policy(resolved_policy_name(spec)),
+                    budget_fraction=spec.budget_fraction,
+                    instruction_quota=spec.instruction_quota,
+                    max_epochs=spec.max_epochs,
+                    measure_decision_time=False,
+                    control=RunControl(),
+                )
+            )
+        fleet = FleetSimulator(lanes)
+        gens = [
+            lane.simulator.run_steps(
+                lane.policy,
+                lane.budget_fraction,
+                instruction_quota=lane.instruction_quota,
+                max_epochs=lane.max_epochs,
+                measure_decision_time=False,
+                control=lane.control,
+            )
+            for lane in lanes
+        ]
+        fleet_results = [None, None]
+        responses = {0: None, 1: None}
+        while responses:
+            requests = {}
+            for i in sorted(responses):
+                try:
+                    request = gens[i].send(responses[i])
+                except StopIteration as stop:
+                    fleet_results[i] = stop.value
+                    continue
+                if isinstance(request, EpochComplete):
+                    mutate(lanes[i].simulator, lanes[i].control, request)
+                requests[i] = request
+            responses = fleet.serve(requests)
+
+        for scalar, batched in zip(scalar_results, fleet_results):
+            assert result_content_hash(scalar) == result_content_hash(
+                batched
+            )
