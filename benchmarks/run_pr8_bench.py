@@ -1,0 +1,234 @@
+"""Produce ``BENCH_PR8.json``: exact-tier vs relaxed-kernel medians.
+
+Run from the repository root::
+
+    PYTHONPATH=src:. python benchmarks/run_pr8_bench.py [--quick] [--out PATH]
+
+Everything is measured live on the current tree.  The "before" of
+every row is the exact tier (pinned-reduction-order numpy fixed point,
+the golden-parity path); the "after" is the relaxed tier through the
+best compiled kernel the process resolves (numba if installed, else
+the ``cc`` ctypes backend).  Agreement is gated by
+``tests/test_relaxed_parity.py`` (run-level ≤1e-8 relative, identical
+per-epoch decisions), so each speedup is loop fusion, not a numerical
+shortcut.
+
+Rows:
+
+* ``mva_scalar_n{16,64}`` — one cold MVA solve: ``MVASolver.solve``
+  vs ``MVASolver.solve_relaxed``;
+* ``mva_fleet_r16_n64`` — 16 heterogeneous 64-core lanes:
+  lockstep ``FleetSolver.solve`` vs the batched compiled kernel
+  (the ISSUE's ≥3x acceptance row);
+* ``mva_fleet_relaxed_numpy_r16_n64`` — the numpy fallback: the
+  relaxed tier without a compiled backend must be no slower than
+  exact (it delegates, so the ratio is ~1.0 by construction);
+* ``fig10_quick_e2e_relaxed`` — end-to-end: a quick-mode fig10
+  campaign (64-core lanes, fleet batching, cold cache) at
+  ``parity="exact"`` vs ``parity="relaxed"`` (the ISSUE's ≥1.5x
+  acceptance row).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import statistics
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _median_time(fn, reps: int, inner: int = 1) -> float:
+    fn()  # warm-up
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        times.append((time.perf_counter() - t0) / inner)
+    return statistics.median(times)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true", help="CI-speed reps")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_PR8.json"))
+    args = parser.parse_args()
+    reps = 3 if args.quick else 5
+    inner = 5 if args.quick else 20
+
+    from repro.campaign import Campaign, CampaignRunner
+    from repro.experiments import fig10
+    from repro.queueing import FleetSolver, MVASolver, NetworkArrays
+    from repro.queueing.kernels import (
+        available_kernels,
+        default_kernel_name,
+        get_kernel,
+        kernel_available,
+        warmup,
+    )
+    from tests.conftest import make_network
+
+    kernel_name = default_kernel_name()
+    compiled = get_kernel(kernel_name).compiled
+    if compiled:
+        warmup(kernel_name)  # pay JIT / C compile outside the timings
+
+    results = {}
+
+    def record(name, before_s, after_s, note=""):
+        results[name] = {
+            "before_s": before_s,
+            "after_s": after_s,
+            "speedup": before_s / after_s if after_s > 0 else None,
+            "note": note,
+        }
+
+    # --- Scalar MVA solves: exact vs relaxed-compiled ----------------
+    for n_classes in (16, 64):
+        solver = MVASolver(
+            NetworkArrays.from_network(
+                make_network(n_classes=n_classes, n_banks=32, think_ns=18.0)
+            )
+        )
+        before = _median_time(lambda: solver.solve(tolerance=1e-8), reps, inner)
+        after = _median_time(
+            lambda: solver.solve_relaxed(kernel=kernel_name, tolerance=1e-8),
+            reps,
+            inner,
+        )
+        record(
+            f"mva_scalar_n{n_classes}_b32",
+            before,
+            after,
+            f"one cold AMVA solve, {n_classes} classes / 32 banks: "
+            f"~30 numpy ops per iteration vs one fused {kernel_name} "
+            "loop-nest",
+        )
+
+    # --- Fleet MVA: 16 heterogeneous 64-core lanes -------------------
+    def fleet_lanes():
+        return [
+            NetworkArrays.from_network(
+                make_network(
+                    n_classes=64, n_banks=32, think_ns=18.0 + 2.0 * i
+                )
+            )
+            for i in range(16)
+        ]
+
+    exact_fleet = FleetSolver(fleet_lanes())
+    relaxed_fleet = FleetSolver(fleet_lanes())
+    before = _median_time(
+        lambda: exact_fleet.solve(tolerance=1e-8), reps, inner
+    )
+    after = _median_time(
+        lambda: relaxed_fleet.solve_relaxed(
+            kernel=kernel_name, tolerance=1e-8
+        ),
+        reps,
+        inner,
+    )
+    record(
+        "mva_fleet_r16_n64_b32",
+        before,
+        after,
+        "16 heterogeneous 64-core lanes: lockstep masked numpy fixed "
+        f"point vs the batched {kernel_name} kernel (each lane runs to "
+        "its own convergence inside the compiled loop); the ISSUE's "
+        ">=3x acceptance row",
+    )
+
+    # --- Numpy fallback: relaxed must be no slower than exact --------
+    fallback_fleet = FleetSolver(fleet_lanes())
+    after_np = _median_time(
+        lambda: fallback_fleet.solve_relaxed(kernel="numpy", tolerance=1e-8),
+        reps,
+        inner,
+    )
+    record(
+        "mva_fleet_relaxed_numpy_r16_n64_b32",
+        before,
+        after_np,
+        "relaxed tier with the numpy fallback delegates to the exact "
+        "lockstep solve (bit-identical), so the ratio is ~1.0 by "
+        "construction — the 'no slower than exact' guarantee",
+    )
+
+    # --- End-to-end: quick fig10 campaign, exact vs relaxed ----------
+    campaign = Campaign(
+        "fig10-parity-bench",
+        [
+            s.replace(record_decision_time=False)
+            for s in fig10.campaign().specs
+        ],
+    )
+
+    def run_once(parity):
+        runner = CampaignRunner(
+            quick=True, batch="fleet", parity=parity
+        )
+        runner.run_campaign(campaign, include_baselines=True)
+
+    # Interleave exact/relaxed repetitions so host drift hits both
+    # sides equally (same discipline as BENCH_PR5).
+    run_once("exact")
+    run_once("relaxed")
+    camp_reps = 1 if args.quick else 7
+    exact_times, relaxed_times = [], []
+    for _ in range(camp_reps):
+        t0 = time.perf_counter()
+        run_once("exact")
+        exact_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_once("relaxed")
+        relaxed_times.append(time.perf_counter() - t0)
+    record(
+        "fig10_quick_e2e_relaxed",
+        statistics.median(exact_times),
+        statistics.median(relaxed_times),
+        f"quick-mode fig10 ({len(campaign)} specs + baselines, 64-core "
+        "lanes, fleet batching, serial, cold cache): parity='exact' vs "
+        "parity='relaxed'; the ISSUE's >=1.5x end-to-end acceptance row",
+    )
+
+    payload = {
+        "schema_version": 1,
+        "pr": 8,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "kernel": kernel_name,
+        "kernel_compiled": compiled,
+        "kernels_available": list(available_kernels()),
+        "numba_available": kernel_available("numba"),
+        "results": results,
+        "notes": (
+            "Relaxed-tier agreement with the exact tier is gated by "
+            "tests/test_relaxed_parity.py (power/TPI trajectories "
+            "<=1e-8 relative, per-epoch frequency decisions identical "
+            "across the 61-spec golden grid); the exact tier itself "
+            "stays byte-identical (tests/test_golden_parity.py). "
+            "Speedups come from fusing the ~30-op AMVA iteration into "
+            "one compiled loop-nest (no temporaries, no dispatch), not "
+            "from changing the fixed point."
+        ),
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out} (kernel: {kernel_name}, compiled: {compiled})")
+    for name, row in sorted(results.items()):
+        print(
+            f"  {name}: {row['before_s']*1e3:.3f} ms -> "
+            f"{row['after_s']*1e3:.3f} ms ({row['speedup']:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(ROOT))
+    main()

@@ -34,12 +34,13 @@
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.campaign import Campaign, CampaignResult
-from repro.campaign.spec import RunSpec
+from repro.campaign.spec import PARITY_TIERS, RunSpec
 from repro.errors import ConfigurationError
 from repro.policies.registry import format_policy_name, make_policy, parse_policy_name
 from repro.sim.config import SystemConfig, table2_config
@@ -48,6 +49,8 @@ from repro.units import MS
 
 #: Spec batching strategies for campaign cache misses.
 BATCH_MODES = ("scalar", "fleet")
+
+logger = logging.getLogger("repro.campaign")
 
 
 def config_for_spec(spec: RunSpec) -> SystemConfig:
@@ -90,7 +93,11 @@ def execute_spec(spec: RunSpec) -> RunResult:
 
     config = config_for_spec(spec)
     sim = ServerSimulator(
-        config, get_workload(spec.workload), seed=spec.seed, engine=spec.engine
+        config,
+        get_workload(spec.workload),
+        seed=spec.seed,
+        engine=spec.engine,
+        parity=spec.parity,
     )
     policy = make_policy(resolved_policy_name(spec))
     return sim.run(
@@ -130,6 +137,7 @@ def execute_fleet(specs: Sequence[RunSpec]) -> List[RunResult]:
             get_workload(spec.workload),
             seed=spec.seed,
             engine=spec.engine,
+            parity=spec.parity,
         )
         lanes.append(
             FleetLane(
@@ -177,14 +185,23 @@ class CampaignRunner:
         cache_format: str = "json",
         batch: str = "scalar",
         fleet_width: int = 64,
+        parity: Optional[str] = None,
     ) -> None:
         if batch not in BATCH_MODES:
             raise ConfigurationError(
                 f"unknown batch mode {batch!r}; known: {list(BATCH_MODES)}"
             )
+        if parity is not None and parity not in PARITY_TIERS:
+            raise ConfigurationError(
+                f"unknown parity tier {parity!r}; known: {list(PARITY_TIERS)}"
+            )
         self.quick = quick
         self.quick_factor = quick_factor
         self.jobs = max(int(jobs), 1)
+        #: ``None`` runs every spec at its declared parity tier; a tier
+        #: name rewrites specs to that tier in :meth:`scaled` (relaxed
+        #: specs hash differently, so the two tiers cache separately).
+        self.parity = parity
         #: ``"scalar"`` loops :func:`execute_spec` over cache misses;
         #: ``"fleet"`` groups shape-compatible misses into lockstep
         #: :func:`execute_fleet` batches (byte-identical results).
@@ -203,15 +220,22 @@ class CampaignRunner:
         self.runs_executed = 0
         #: Specs executed inside lockstep fleets (subset of runs_executed).
         self.fleet_runs = 0
+        #: Operating-point solves across all executed runs, and how many
+        #: of them repeated an already-seen operating point (satellite
+        #: counters surfaced from ``RunResult.stats``).
+        self.op_solves = 0
+        self.op_memo_hits = 0
 
     # ------------------------------------------------------------------
     def scaled(self, spec: RunSpec) -> RunSpec:
-        """Apply quick-mode scaling to a spec.
+        """Apply the runner's parity override and quick-mode scaling.
 
         Scaling shrinks work, never inflates it: the floors (5M
         instructions, 10 epochs) are capped at the spec's own declared
         values, so an explicitly tiny spec runs exactly as written.
         """
+        if self.parity is not None and spec.parity != self.parity:
+            spec = replace(spec, parity=self.parity)
         if not self.quick:
             return spec
         quota = spec.instruction_quota
@@ -242,6 +266,9 @@ class CampaignRunner:
         return None
 
     def _store(self, scaled: RunSpec, result: RunResult) -> None:
+        stats = getattr(result, "stats", None) or {}
+        self.op_solves += int(stats.get("op_solves", 0))
+        self.op_memo_hits += int(stats.get("op_memo_hits", 0))
         self._memo[scaled.spec_hash()] = result
         if self.cache is not None:
             self.cache.put(scaled, result)
@@ -304,7 +331,20 @@ class CampaignRunner:
                 results[i] = found
 
         if misses:
+            op_solves_before = self.op_solves
+            op_hits_before = self.op_memo_hits
             results.update(self._execute_misses(misses))
+            solves = self.op_solves - op_solves_before
+            hits = self.op_memo_hits - op_hits_before
+            if solves:
+                logger.info(
+                    "campaign: %d runs executed, %d operating-point solves, "
+                    "%d repeated operating points (%.1f%% memo hit rate)",
+                    len(misses),
+                    solves,
+                    hits,
+                    100.0 * hits / solves,
+                )
 
         by_hash = {
             orig.spec_hash(): results[i] for i, orig in enumerate(ordered)
@@ -351,6 +391,13 @@ class CampaignRunner:
         self, misses: List[Tuple[int, RunSpec]]
     ) -> Dict[int, RunResult]:
         """Simulate cache misses, in-process or across a worker pool."""
+        if any(spec.parity == "relaxed" for _, spec in misses):
+            # Compile/load the fixed-point kernel once, up front, so the
+            # first relaxed run doesn't pay the warm-up inside its
+            # measured wall time (workers warm up their own copies).
+            from repro.queueing.kernels import warmup
+
+            warmup()
         if self.batch == "fleet":
             units = self._fleet_units(misses)
         else:

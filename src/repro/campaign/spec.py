@@ -23,6 +23,12 @@ from repro.errors import ConfigurationError
 #: Engines understood by :class:`repro.sim.server.ServerSimulator`.
 ENGINES = ("mva", "eventsim")
 
+#: Numeric parity tiers (see README "Performance"): ``"exact"`` pins
+#: every reduction order for byte-identical results; ``"relaxed"``
+#: allows the compiled fixed-point kernels, gated at run-level ≤1e-8
+#: relative agreement with the exact tier.
+PARITY_TIERS = ("exact", "relaxed")
+
 #: Fields that must be present in every spec dict.
 _REQUIRED_FIELDS = ("workload", "policy", "budget_fraction")
 
@@ -64,11 +70,17 @@ class RunSpec:
     counter_noise: Optional[float] = None
     power_noise: Optional[float] = None
     record_decision_time: bool = True
+    parity: str = "exact"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; known: {list(ENGINES)}"
+            )
+        if self.parity not in PARITY_TIERS:
+            raise ConfigurationError(
+                f"unknown parity tier {self.parity!r}; "
+                f"known: {list(PARITY_TIERS)}"
             )
         if not self.workload:
             raise ConfigurationError("spec needs a workload name")
@@ -95,8 +107,20 @@ class RunSpec:
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form with every field present (canonical order)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Plain-data form (canonical order).
+
+        ``parity`` is omitted when it holds its ``"exact"`` default:
+        the canonical JSON of an exact-tier spec is then byte-identical
+        to the pre-parity format, so golden-fixture keys and every
+        existing cache entry's content hash stay valid.  Relaxed-tier
+        specs serialize the field and therefore hash differently —
+        correct, since their results may differ within the relaxed
+        tolerance.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        if data["parity"] == "exact":
+            del data["parity"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":

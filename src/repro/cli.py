@@ -91,6 +91,15 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         "batched simulator (byte-identical results, less dispatch "
         "overhead)",
     )
+    parser.add_argument(
+        "--parity",
+        choices=("exact", "relaxed"),
+        default=None,
+        help="numeric parity tier override: 'exact' pins every "
+        "reduction order (byte-identical results), 'relaxed' allows "
+        "the compiled MVA fixed-point kernels (run-level <=1e-8 "
+        "relative agreement; default: run each spec as written)",
+    )
 
 
 def resolve_jobs(args: argparse.Namespace) -> int:
@@ -247,6 +256,7 @@ def build_runner(args: argparse.Namespace):
         jobs=resolve_jobs(args),
         cache_dir=args.cache_dir,
         batch=getattr(args, "batch", "scalar"),
+        parity=getattr(args, "parity", None),
     )
 
 

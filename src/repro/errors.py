@@ -20,7 +20,30 @@ class ModelError(ReproError):
 
 
 class ConvergenceError(ModelError):
-    """An iterative solver failed to converge within its iteration budget."""
+    """An iterative solver failed to converge within its iteration budget.
+
+    Carries the solver's terminal state so callers (and bug reports)
+    can see how close it got and where the progressive damping
+    schedule ended up — ``None`` when the raising solver has no such
+    notion.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iterations=None,
+        last_rel_change=None,
+        damping=None,
+    ) -> None:
+        super().__init__(message)
+        #: Iterations spent before giving up.
+        self.iterations = iterations
+        #: Relative state change at the final iteration.
+        self.last_rel_change = last_rel_change
+        #: Damping factor in effect when the budget ran out (the
+        #: progressive schedule may have decayed it from its start).
+        self.damping = damping
 
 
 class InfeasibleBudgetError(ReproError):

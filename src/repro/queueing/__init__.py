@@ -19,8 +19,14 @@ MVA path: R same-shape networks stack into ``(R, n, B)`` tensors
 (:meth:`NetworkArrays.stack`) and solve in lockstep with per-lane
 convergence masks (:class:`FleetSolver`), bit-identical per lane to
 the scalar solver.
+
+:mod:`repro.queueing.kernels` provides the relaxed parity tier's
+compiled fixed-point kernels (Numba / C via ctypes, with a numpy
+fallback), reached through :meth:`MVASolver.solve_relaxed` and
+:meth:`FleetSolver.solve_relaxed`.
 """
 
+from repro.queueing import kernels
 from repro.queueing.arrays import NetworkArrays
 from repro.queueing.fleet import FleetArrays, FleetSolver
 from repro.queueing.network import (
@@ -43,6 +49,7 @@ __all__ = [
     "MVASolver",
     "NetworkArrays",
     "QueueingNetwork",
+    "kernels",
     "simulate_network",
     "solve_mva",
 ]

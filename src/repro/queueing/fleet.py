@@ -591,6 +591,122 @@ class FleetSolver:
             stuck = rows[active].tolist()
             raise ConvergenceError(
                 f"fleet AMVA: lanes {stuck} did not converge in "
-                f"{max_iterations} iterations"
+                f"{max_iterations} iterations (worst relative change "
+                f"{float(rel[active].max()):.3e}, damping decayed to "
+                f"{current_damping:.3g})",
+                iterations=max_iterations,
+                last_rel_change=float(rel[active].max()),
+                damping=current_damping,
+            )
+        return solutions
+
+    # ------------------------------------------------------------------
+    def solve_relaxed(
+        self,
+        kernel=None,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-10,
+        damping: float = 0.5,
+        initial_throughput: Optional[np.ndarray] = None,
+        lanes: Optional[np.ndarray] = None,
+    ) -> List[Optional[MVASolution]]:
+        """Relaxed-tier fleet solve through a fused batched kernel.
+
+        The batched twin of
+        :meth:`repro.queueing.mva.MVASolver.solve_relaxed`: the
+        participating lanes' inputs are compacted into the stacked
+        ``(m, n, B)`` tensors and handed to the kernel's
+        ``solve_lanes`` entry point, which runs each lane to its own
+        convergence inside one compiled loop-nest — no lockstep, no
+        convergence masks, no per-iteration dispatch to amortise.
+        Per-lane trajectories match the single-lane kernel exactly.
+
+        A non-compiled kernel (the numpy fallback) delegates to the
+        exact lockstep :meth:`solve` — bit-identical to the exact tier
+        and exactly as fast.  Raises
+        :class:`~repro.errors.ConvergenceError` if any participating
+        lane fails.
+        """
+        from repro.queueing.kernels import get_kernel
+
+        resolved = get_kernel(kernel)
+        if not resolved.compiled:
+            return self.solve(
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+                damping=damping,
+                initial_throughput=initial_throughput,
+                lanes=lanes,
+            )
+
+        f = self.fleet.gather()
+        r = f.n_lanes
+        if lanes is None:
+            lane_rows = np.arange(r)
+        else:
+            mask = np.asarray(lanes, dtype=bool)
+            if mask.shape != (r,):
+                raise ConfigurationError(f"lane mask must have shape ({r},)")
+            lane_rows = np.flatnonzero(mask)
+        m = int(lane_rows.size)
+        solutions: List[Optional[MVASolution]] = [None] * r
+        if m == 0:
+            return solutions
+
+        np.take(f.routing, lane_rows, axis=0, out=self._routing_c[:m])
+        np.take(f.bank_service, lane_rows, axis=0, out=self._bank_service_c[:m])
+        np.take(f.bus_transfer, lane_rows, axis=0, out=self._bus_transfer_c[:m])
+        np.take(f.bg_rates, lane_rows, axis=0, out=self._bg_rates_c[:m])
+        np.take(f.think_s, lane_rows, axis=0, out=self._think_c[:m])
+        np.take(f.population, lane_rows, axis=0, out=self._population_c[:m])
+
+        # State initialisation (identical to the scalar kernel's).
+        if initial_throughput is not None:
+            warm = np.asarray(initial_throughput, dtype=float)
+            np.take(warm, lane_rows, axis=0, out=self._x[:m])
+        else:
+            self._x[:m] = self._population_c[:m] / (
+                self._think_c[:m]
+                + self._bank_service_c[:m].mean(axis=1)[:, None]
+                + self._bus_transfer_c[:m].mean(axis=1)[:, None]
+            )
+        self._r_bank[:m] = self._bank_service_c[:m][:, None, :]
+        self._x2_flat[:m] = self._x[:m]
+        np.multiply(self._x2[:m], self._routing_c[:m], out=self._q[:m])
+        np.multiply(self._q[:m], self._r_bank[:m], out=self._q[:m])
+
+        iters, rels, damps = resolved.solve_lanes(
+            self._routing_c[:m],
+            self._bank_service_c[:m],
+            self._bus_transfer_c[:m],
+            f.bank_ctrl,
+            self._bg_rates_c[:m],
+            self._population_c[:m],
+            self._think_c[:m],
+            self._x[:m],
+            self._q[:m],
+            self._r_bank[:m],
+            1,
+            max_iterations,
+            tolerance,
+            damping,
+        )
+        failed = np.flatnonzero(iters == 0)
+        if failed.size:
+            stuck = lane_rows[failed].tolist()
+            worst = int(failed[np.argmax(rels[failed])])
+            raise ConvergenceError(
+                f"fleet AMVA ({resolved.name} kernel): lanes {stuck} did "
+                f"not converge in {max_iterations} iterations (worst "
+                f"relative change {float(rels[worst]):.3e}, damping "
+                f"decayed to {float(damps[worst]):.3g})",
+                iterations=max_iterations,
+                last_rel_change=float(rels[worst]),
+                damping=float(damps[worst]),
+            )
+        for j in range(m):
+            lane = int(lane_rows[j])
+            solutions[lane] = self.solvers[lane]._snapshot(
+                self._x[j], self._q[j], self._r_bank[j], int(iters[j])
             )
         return solutions

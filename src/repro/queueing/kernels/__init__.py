@@ -1,0 +1,43 @@
+"""Compiled AMVA fixed-point kernels (the relaxed parity tier's engine).
+
+The exact parity tier pins every reduction order for byte-identical
+results, which forbids fusing the fixed point's ~30 numpy ops per
+iteration.  The relaxed tier (``parity="relaxed"``, run-level ≤1e-8
+relative agreement) lifts that constraint, and this package supplies
+the fused single-lane and batched ``(R, n, B)`` kernels that exploit
+it — one loop-nest per iteration, no intermediate temporaries.
+
+See :mod:`repro.queueing.kernels.registry` for backend selection
+(``numba`` / ``cc`` / ``numpy`` fallback) and
+:mod:`repro.queueing.kernels.fused` for the kernel contract.
+"""
+
+from repro.queueing.kernels.registry import (
+    KERNEL_ENV_VAR,
+    KERNEL_NAMES,
+    CcKernel,
+    FixedPointKernel,
+    KernelOutcome,
+    NumbaKernel,
+    NumpyKernel,
+    available_kernels,
+    default_kernel_name,
+    get_kernel,
+    kernel_available,
+    warmup,
+)
+
+__all__ = [
+    "KERNEL_ENV_VAR",
+    "KERNEL_NAMES",
+    "CcKernel",
+    "FixedPointKernel",
+    "KernelOutcome",
+    "NumbaKernel",
+    "NumpyKernel",
+    "available_kernels",
+    "default_kernel_name",
+    "get_kernel",
+    "kernel_available",
+    "warmup",
+]

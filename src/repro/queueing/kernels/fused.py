@@ -1,0 +1,268 @@
+"""Fused AMVA fixed-point loop-nest (the compiled kernels' source form).
+
+The functions here spell out one damped fixed-point iteration of
+:meth:`repro.queueing.mva.MVASolver._fixed_point` as explicit scalar
+loops — no numpy temporaries, no per-op dispatch — in the style Numba
+compiles well: the ``numba`` backend ``@njit``-wraps these exact
+functions, and the ``cc`` backend's C source is a line-for-line
+transcription of them.  They also *run* as plain Python, which is how
+the test suite exercises the compiled kernels' logic on containers
+without a JIT.
+
+The update formulas, the initial damping, the ``iteration % 300``
+damping-decay schedule and the stopping rule are identical to the
+exact kernel's, so a relaxed solve shadows the exact trajectory; only
+reduction orders differ (sequential accumulation here vs numpy's
+pairwise/BLAS orders), which bounds the divergence to rounding noise —
+the relaxed-parity fixture pins it below 1e-8 at run level.
+
+Contract shared by every backend: the caller initialises ``x`` (per-
+class throughput) and ``q`` (per-class × per-bank queue estimate)
+exactly as :meth:`MVASolver.solve` does, the kernel advances them in
+place, writes the final per-class bank responses into ``r_bank``, and
+returns ``(iterations, last_rel_change, damping)`` — ``iterations``
+is the converged 1-based iteration index, or ``0`` when the budget ran
+out (the caller raises :class:`~repro.errors.ConvergenceError` with
+the returned terminal state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Mirrors repro.queueing.mva; duplicated as literals so the module
+# stays importable (and jittable) without importing the solver.
+_RHO_CAP = 0.995
+_BG_RHO_CAP = 0.95
+
+
+def solve_lane(
+    routing,  # (n, B) visit probabilities
+    bank_service,  # (B,)
+    bus_transfer,  # (M,)
+    bank_ctrl,  # (B,) int64 bank -> controller
+    bg_rates,  # (B,)
+    population,  # (n,)
+    think,  # (n,)
+    x,  # (n,) in/out: per-class throughput
+    q,  # (n, B) in/out: per-class bank queue estimate
+    r_bank,  # (n, B) out: final per-class bank responses
+    first_iteration,
+    max_iterations,
+    tolerance,
+    damping,
+):
+    """Advance one lane's damped fixed point to convergence."""
+    n, n_banks = routing.shape
+    n_ctrl = bus_transfer.shape[0]
+
+    rates = np.empty(n_banks)
+    s_fg = np.empty(n_banks)
+    bank_q = np.empty(n_banks)
+    ctrl_rates = np.empty(n_ctrl)
+    bus_wait = np.empty(n_ctrl)
+    wait_cap = np.empty(n_ctrl)
+
+    total_pop = 0.0
+    for i in range(n):
+        total_pop += population[i]
+    pop_m1 = total_pop - 1.0
+    if pop_m1 < 0.0:
+        pop_m1 = 0.0
+    for k in range(n_ctrl):
+        wait_cap[k] = pop_m1 * bus_transfer[k]
+    has_bg = False
+    for b in range(n_banks):
+        if bg_rates[b] > 0.0:
+            has_bg = True
+            break
+
+    retained = 1.0 - damping
+    last_rel = np.inf
+    for iteration in range(first_iteration, max_iterations + 1):
+        # Progressive damping settles oscillating congested points
+        # (same schedule as the exact kernel).
+        if iteration % 300 == 0:
+            damping *= 0.5
+            retained = 1.0 - damping
+
+        # Bank arrival rates: foreground (x @ routing) + background.
+        for b in range(n_banks):
+            rates[b] = bg_rates[b]
+        for i in range(n):
+            xi = x[i]
+            for b in range(n_banks):
+                rates[b] += xi * routing[i, b]
+
+        # Controller bus utilisation -> M/D/1 bus wait, finite-
+        # population capped.
+        for k in range(n_ctrl):
+            ctrl_rates[k] = 0.0
+        for b in range(n_banks):
+            ctrl_rates[bank_ctrl[b]] += rates[b]
+        for k in range(n_ctrl):
+            rho = ctrl_rates[k] * bus_transfer[k]
+            if rho > _RHO_CAP:
+                rho = _RHO_CAP
+            wait = bus_transfer[k] * rho / (2.0 * (1.0 - rho))
+            if wait > wait_cap[k]:
+                wait = wait_cap[k]
+            bus_wait[k] = wait
+
+        # Transfer blocking folds bus wait + transfer into bank
+        # service; open background traffic inflates it further.
+        for b in range(n_banks):
+            k = bank_ctrl[b]
+            s_eff = bank_service[b] + bus_wait[k] + bus_transfer[k]
+            if has_bg:
+                rho_bg = bg_rates[b] * s_eff
+                if rho_bg > _BG_RHO_CAP:
+                    rho_bg = _BG_RHO_CAP
+                s_eff = s_eff / (1.0 - rho_bg)
+            s_fg[b] = s_eff
+
+        # Bard–Schweitzer arrival-theorem queue (bank_q from the
+        # pre-update q, like the exact kernel).
+        for b in range(n_banks):
+            bank_q[b] = 0.0
+        for i in range(n):
+            for b in range(n_banks):
+                bank_q[b] += q[i, b]
+
+        last_rel = 0.0
+        for i in range(n):
+            inv_pop = 1.0 / population[i]
+            r_mem = 0.0
+            for b in range(n_banks):
+                seen = bank_q[b] - q[i, b] * inv_pop
+                if seen < 0.0:
+                    seen = 0.0
+                r_new = s_fg[b] * (1.0 + seen)
+                r_bank[i, b] = r_new
+                r_mem += routing[i, b] * r_new
+            x_new = population[i] / (think[i] + r_mem)
+            x_damped = damping * x_new + retained * x[i]
+            for b in range(n_banks):
+                q[i, b] = (
+                    retained * q[i, b]
+                    + damping * x_damped * routing[i, b] * r_bank[i, b]
+                )
+            den = abs(x[i])
+            if den < 1e-300:
+                den = 1e-300
+            diff = abs(x_damped - x[i]) / den
+            if diff > last_rel:
+                last_rel = diff
+            x[i] = x_damped
+
+        if last_rel < tolerance:
+            return iteration, last_rel, damping
+
+    return 0, last_rel, damping
+
+
+def solve_lanes(
+    routing,  # (R, n, B)
+    bank_service,  # (R, B)
+    bus_transfer,  # (R, M)
+    bank_ctrl,  # (B,) int64, shared across lanes
+    bg_rates,  # (R, B)
+    population,  # (R, n)
+    think,  # (R, n)
+    x,  # (R, n) in/out
+    q,  # (R, n, B) in/out
+    r_bank,  # (R, n, B) out
+    iters,  # (R,) int64 out: converged iteration (0 = failed)
+    rels,  # (R,) out: last relative change
+    damps,  # (R,) out: final damping
+    first_iteration,
+    max_iterations,
+    tolerance,
+    damping,
+):
+    """Solve R stacked lanes, each to its own convergence.
+
+    Unlike the exact fleet solver there is no lockstep and no masking:
+    inside a compiled loop-nest there is no per-op dispatch to
+    amortise, so each lane simply runs to convergence sequentially —
+    per-lane trajectories (and iteration counts) match the single-lane
+    kernel exactly.
+    """
+    n_lanes = routing.shape[0]
+    for r in range(n_lanes):
+        it, rel, damp = solve_lane(
+            routing[r],
+            bank_service[r],
+            bus_transfer[r],
+            bank_ctrl,
+            bg_rates[r],
+            population[r],
+            think[r],
+            x[r],
+            q[r],
+            r_bank[r],
+            first_iteration,
+            max_iterations,
+            tolerance,
+            damping,
+        )
+        iters[r] = it
+        rels[r] = rel
+        damps[r] = damp
+
+
+def jit_compile():
+    """``@njit``-wrap the loop-nests; returns (solve_lane, solve_lanes).
+
+    Imported lazily so the module works without Numba; raises
+    ``ImportError`` when Numba is absent.  The wrapped pair is cached
+    by :mod:`repro.queueing.kernels.registry`, which also runs a tiny
+    warm-up problem so compilation cost never lands in measured work.
+    """
+    import numba
+
+    lane = numba.njit(cache=True, fastmath=False)(solve_lane)
+
+    def _lanes(
+        routing,
+        bank_service,
+        bus_transfer,
+        bank_ctrl,
+        bg_rates,
+        population,
+        think,
+        x,
+        q,
+        r_bank,
+        iters,
+        rels,
+        damps,
+        first_iteration,
+        max_iterations,
+        tolerance,
+        damping,
+    ):
+        n_lanes = routing.shape[0]
+        for r in range(n_lanes):
+            it, rel, damp = lane(
+                routing[r],
+                bank_service[r],
+                bus_transfer[r],
+                bank_ctrl,
+                bg_rates[r],
+                population[r],
+                think[r],
+                x[r],
+                q[r],
+                r_bank[r],
+                first_iteration,
+                max_iterations,
+                tolerance,
+                damping,
+            )
+            iters[r] = it
+            rels[r] = rel
+            damps[r] = damp
+
+    lanes = numba.njit(cache=True, fastmath=False)(_lanes)
+    return lane, lanes

@@ -1,0 +1,341 @@
+"""Kernel backend selection for the relaxed parity tier.
+
+Three backends implement the fused fixed-point contract of
+:mod:`repro.queueing.kernels.fused`:
+
+* ``"numba"`` — the loop-nests ``@njit``-compiled (needs the optional
+  ``[kernels]`` extra);
+* ``"cc"`` — the same loop-nests as a C shared library built at first
+  use with the host compiler (:mod:`repro.queueing.kernels.cext`);
+* ``"numpy"`` — the guaranteed fallback.  It is deliberately *not* a
+  third arithmetic: solver integration points
+  (:meth:`~repro.queueing.mva.MVASolver.solve_relaxed` /
+  :meth:`~repro.queueing.fleet.FleetSolver.solve_relaxed`) treat a
+  non-compiled kernel as "run the exact numpy path", so a relaxed-tier
+  run without a compiler or Numba is bit-identical to — and exactly as
+  fast as — the exact tier.  The raw entry points remain callable (the
+  pure-Python loop-nests) for tests.
+
+Resolution order for :func:`get_kernel`/:func:`warmup` with no explicit
+name: the ``FASTCAP_MVA_KERNEL`` environment variable if set (an
+unavailable explicit choice is an error, never a silent fallback),
+else the first available of ``numba``, ``cc``, ``numpy``.
+
+:func:`warmup` triggers JIT/C compilation on a tiny problem and is
+memoised per process, so campaign runners can pay the one-time cost
+up front and no compile ever lands inside a measured epoch.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.queueing.kernels import cext, fused
+
+#: Known backend names, in default-resolution preference order.
+KERNEL_NAMES = ("numba", "cc", "numpy")
+
+#: Environment override consulted by :func:`get_kernel`.
+KERNEL_ENV_VAR = "FASTCAP_MVA_KERNEL"
+
+
+@dataclass(frozen=True)
+class KernelOutcome:
+    """Terminal state of one lane's fixed point.
+
+    ``iterations`` is the converged 1-based iteration index; ``0``
+    means the iteration budget ran out, and the other two fields then
+    carry the state a :class:`~repro.errors.ConvergenceError` should
+    report.
+    """
+
+    iterations: int
+    last_rel_change: float
+    damping: float
+
+    @property
+    def converged(self) -> bool:
+        return self.iterations > 0
+
+
+class FixedPointKernel:
+    """One backend implementing the fused fixed-point contract.
+
+    ``compiled`` distinguishes real machine-code backends from the
+    ``numpy`` fallback sentinel; the solvers only route state through
+    :meth:`solve_lane`/:meth:`solve_lanes` when it is True.
+    """
+
+    name: str = "?"
+    compiled: bool = False
+
+    def __init__(self) -> None:
+        self._ready = False
+
+    # -- backend hooks --------------------------------------------------
+    def _lane_fn(self):
+        return fused.solve_lane
+
+    def _lanes_fn(self):
+        return fused.solve_lanes
+
+    # -- public API -----------------------------------------------------
+    def solve_lane(
+        self,
+        routing: np.ndarray,
+        bank_service: np.ndarray,
+        bus_transfer: np.ndarray,
+        bank_ctrl: np.ndarray,
+        bg_rates: np.ndarray,
+        population: np.ndarray,
+        think: np.ndarray,
+        x: np.ndarray,
+        q: np.ndarray,
+        r_bank: np.ndarray,
+        first_iteration: int = 1,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-10,
+        damping: float = 0.5,
+    ) -> KernelOutcome:
+        """Advance one lane's fixed point in place (see fused contract)."""
+        iterations, rel, damp = self._lane_fn()(
+            routing,
+            bank_service,
+            bus_transfer,
+            bank_ctrl,
+            bg_rates,
+            population,
+            think,
+            x,
+            q,
+            r_bank,
+            first_iteration,
+            max_iterations,
+            tolerance,
+            damping,
+        )
+        return KernelOutcome(int(iterations), float(rel), float(damp))
+
+    def solve_lanes(
+        self,
+        routing: np.ndarray,
+        bank_service: np.ndarray,
+        bus_transfer: np.ndarray,
+        bank_ctrl: np.ndarray,
+        bg_rates: np.ndarray,
+        population: np.ndarray,
+        think: np.ndarray,
+        x: np.ndarray,
+        q: np.ndarray,
+        r_bank: np.ndarray,
+        first_iteration: int = 1,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-10,
+        damping: float = 0.5,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Solve R stacked lanes; returns (iters, rels, damps) arrays."""
+        n_lanes = routing.shape[0]
+        iters = np.zeros(n_lanes, dtype=np.int64)
+        rels = np.zeros(n_lanes)
+        damps = np.zeros(n_lanes)
+        self._lanes_fn()(
+            routing,
+            bank_service,
+            bus_transfer,
+            bank_ctrl,
+            bg_rates,
+            population,
+            think,
+            x,
+            q,
+            r_bank,
+            iters,
+            rels,
+            damps,
+            first_iteration,
+            max_iterations,
+            tolerance,
+            damping,
+        )
+        return iters, rels, damps
+
+    def warmup(self) -> "FixedPointKernel":
+        """Compile (if applicable) by solving a tiny problem; memoised."""
+        if self._ready:
+            return self
+        n, n_banks, n_ctrl = 2, 2, 1
+        routing = np.full((n, n_banks), 1.0 / n_banks)
+        bank_service = np.full(n_banks, 1e-8)
+        bus_transfer = np.full(n_ctrl, 5e-9)
+        bank_ctrl = np.zeros(n_banks, dtype=np.int64)
+        bg_rates = np.zeros(n_banks)
+        population = np.ones(n)
+        think = np.full(n, 1e-7)
+        x = population / (think + bank_service.mean() + bus_transfer.mean())
+        r_bank = np.tile(bank_service, (n, 1))
+        q = x[:, None] * routing * r_bank
+        self.solve_lane(
+            routing,
+            bank_service,
+            bus_transfer,
+            bank_ctrl,
+            bg_rates,
+            population,
+            think,
+            x.copy(),
+            q.copy(),
+            r_bank.copy(),
+        )
+        self.solve_lanes(
+            routing[None],
+            bank_service[None],
+            bus_transfer[None],
+            bank_ctrl,
+            bg_rates[None],
+            population[None],
+            think[None],
+            x[None].copy(),
+            q[None].copy(),
+            r_bank[None].copy(),
+        )
+        self._ready = True
+        return self
+
+
+class NumpyKernel(FixedPointKernel):
+    """Fallback sentinel: solvers route to the exact numpy path.
+
+    The raw entry points run the pure-Python loop-nests — correct but
+    slow, for tests only; production relaxed runs without a compiled
+    backend never reach them (``compiled`` is False, so the solvers
+    short-circuit to the exact kernel, making the fallback tier
+    exactly as fast as the exact tier by construction).
+    """
+
+    name = "numpy"
+    compiled = False
+
+
+class CcKernel(FixedPointKernel):
+    """The loop-nests compiled as a C shared library via ctypes."""
+
+    name = "cc"
+    compiled = True
+
+    def _lane_fn(self):
+        return cext.solve_lane
+
+    def _lanes_fn(self):
+        return cext.solve_lanes
+
+
+class NumbaKernel(FixedPointKernel):
+    """The loop-nests ``@njit``-compiled (optional ``[kernels]`` extra)."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._jitted = None
+
+    def _pair(self):
+        if self._jitted is None:
+            self._jitted = fused.jit_compile()
+        return self._jitted
+
+    def _lane_fn(self):
+        return self._pair()[0]
+
+    def _lanes_fn(self):
+        return self._pair()[1]
+
+
+_INSTANCES: Dict[str, FixedPointKernel] = {}
+
+
+def kernel_available(name: str) -> bool:
+    """Whether a backend can run in this process (no compilation yet)."""
+    if name == "numpy":
+        return True
+    if name == "numba":
+        return importlib.util.find_spec("numba") is not None
+    if name == "cc":
+        return cext.is_available()
+    return False
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Backends usable in this process, in preference order."""
+    return tuple(name for name in KERNEL_NAMES if kernel_available(name))
+
+
+def default_kernel_name() -> str:
+    """Resolve the process default: env override, else best available."""
+    override = os.environ.get(KERNEL_ENV_VAR)
+    if override:
+        if override not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"${KERNEL_ENV_VAR}={override!r} is not a known kernel; "
+                f"known: {list(KERNEL_NAMES)}"
+            )
+        if not kernel_available(override):
+            raise ConfigurationError(
+                f"${KERNEL_ENV_VAR}={override!r} is not available here"
+                + (
+                    f" ({cext.build_error()})"
+                    if override == "cc" and cext.build_error()
+                    else ""
+                )
+            )
+        return override
+    for name in KERNEL_NAMES:
+        if kernel_available(name):
+            return name
+    return "numpy"
+
+
+def get_kernel(
+    name: Optional[Union[str, FixedPointKernel]] = None,
+) -> FixedPointKernel:
+    """The (memoised) kernel instance for ``name``.
+
+    ``None`` resolves the process default; passing an instance returns
+    it unchanged, so call sites can accept either form.
+    """
+    if isinstance(name, FixedPointKernel):
+        return name
+    resolved = default_kernel_name() if name is None else name
+    if resolved not in KERNEL_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel {resolved!r}; known: {list(KERNEL_NAMES)}"
+        )
+    if not kernel_available(resolved):
+        detail = ""
+        if resolved == "cc" and cext.build_error():
+            detail = f" ({cext.build_error()})"
+        raise ConfigurationError(
+            f"kernel {resolved!r} is not available in this environment{detail}"
+        )
+    instance = _INSTANCES.get(resolved)
+    if instance is None:
+        instance = {
+            "numpy": NumpyKernel,
+            "cc": CcKernel,
+            "numba": NumbaKernel,
+        }[resolved]()
+        _INSTANCES[resolved] = instance
+    return instance
+
+
+def warmup(
+    name: Optional[Union[str, FixedPointKernel]] = None,
+) -> FixedPointKernel:
+    """Resolve a kernel and pay its one-time compile cost now."""
+    return get_kernel(name).warmup()

@@ -194,6 +194,86 @@ class MVASolver:
         return self._snapshot(self._x, self._q, self._r_bank, iteration)
 
     # ------------------------------------------------------------------
+    def solve_relaxed(
+        self,
+        kernel=None,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-10,
+        damping: float = 0.5,
+        initial_throughput: Optional[np.ndarray] = None,
+    ) -> MVASolution:
+        """Relaxed-tier solve through a fused compiled kernel.
+
+        Same fixed point as :meth:`solve` — same initialisation, same
+        damping schedule, same stopping rule — but the per-iteration
+        op sequence runs as one compiled loop-nest
+        (:mod:`repro.queueing.kernels`) instead of ~30 pinned numpy
+        ops, so reduction orders (and therefore the final bits) may
+        differ within rounding noise.  Run-level agreement with the
+        exact tier is gated at ≤1e-8 relative by the relaxed-parity
+        fixture.
+
+        ``kernel`` is a backend name, a
+        :class:`~repro.queueing.kernels.FixedPointKernel`, or ``None``
+        for the process default.  A non-compiled kernel (the numpy
+        fallback) delegates to :meth:`solve` outright — bit-identical
+        to the exact tier and exactly as fast.
+        """
+        from repro.queueing.kernels import get_kernel
+
+        resolved = get_kernel(kernel)
+        if not resolved.compiled:
+            return self.solve(
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+                damping=damping,
+                initial_throughput=initial_throughput,
+            )
+
+        a = self.arrays
+        x = self._x
+        if initial_throughput is not None:
+            x[...] = np.asarray(initial_throughput, dtype=float)
+        else:
+            x[...] = a.population / (
+                a.think_s + a.bank_service.mean() + a.bus_transfer.mean()
+            )
+        r_bank = self._r_bank
+        r_bank[...] = a.bank_service
+        q = self._q
+        self._x2_flat[...] = x
+        np.multiply(self._x2, a.routing, out=q)
+        np.multiply(q, r_bank, out=q)
+
+        outcome = resolved.solve_lane(
+            a.routing,
+            a.bank_service,
+            a.bus_transfer,
+            a.bank_ctrl,
+            a.bg_rates,
+            a.population,
+            a.think_s,
+            x,
+            q,
+            r_bank,
+            1,
+            max_iterations,
+            tolerance,
+            damping,
+        )
+        if not outcome.converged:
+            raise ConvergenceError(
+                f"AMVA ({resolved.name} kernel) did not converge in "
+                f"{max_iterations} iterations (last relative change "
+                f"{outcome.last_rel_change:.3e}, damping decayed to "
+                f"{outcome.damping:.3g})",
+                iterations=max_iterations,
+                last_rel_change=outcome.last_rel_change,
+                damping=outcome.damping,
+            )
+        return self._snapshot(x, q, r_bank, outcome.iterations)
+
+    # ------------------------------------------------------------------
     def _fixed_point(
         self,
         first_iteration: int,
@@ -351,7 +431,11 @@ class MVASolver:
         else:
             raise ConvergenceError(
                 f"AMVA did not converge in {max_iterations} iterations "
-                f"(last relative change {last_rel_change:.3e})"
+                f"(last relative change {last_rel_change:.3e}, "
+                f"damping decayed to {current_damping:.3g})",
+                iterations=max_iterations,
+                last_rel_change=float(last_rel_change),
+                damping=current_damping,
             )
         # Keep the double buffers consistent for the next solve.
         self._r_bank, self._r_bank_alt = r_bank, r_bank_new

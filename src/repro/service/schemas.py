@@ -19,6 +19,9 @@ from repro.service.asgi import ApiError
 #: Engines understood by the simulator (mirrors campaign.spec.ENGINES).
 _ENGINES = ("mva", "eventsim")
 
+#: Numeric parity tiers (mirrors campaign.spec.PARITY_TIERS).
+_PARITY_TIERS = ("exact", "relaxed")
+
 #: Fault types understood by the failure engine.
 FAULT_TYPES = (
     "degraded-memory-controller",
@@ -144,6 +147,7 @@ class SessionCreate:
     instruction_quota: Optional[float] = None
     telemetry_capacity: int = 2048
     record_decision_time: bool = False
+    parity: str = "exact"
     lanes: Tuple[LaneSpec, ...] = ()
 
     _FIELDS = (
@@ -161,6 +165,7 @@ class SessionCreate:
         "instruction_quota",
         "telemetry_capacity",
         "record_decision_time",
+        "parity",
         "lanes",
     )
 
@@ -178,6 +183,13 @@ class SessionCreate:
         if engine not in _ENGINES:
             raise ApiError(
                 400, f"unknown engine {engine!r}", {"known": list(_ENGINES)}
+            )
+        parity = _get(payload, "parity", str, "exact")
+        if parity not in _PARITY_TIERS:
+            raise ApiError(
+                400,
+                f"unknown parity tier {parity!r}",
+                {"known": list(_PARITY_TIERS)},
             )
         return cls(
             workload=workload,
@@ -213,6 +225,7 @@ class SessionCreate:
             record_decision_time=_get(
                 payload, "record_decision_time", bool, False
             ),
+            parity=parity,
             lanes=lanes,
         )
 

@@ -105,6 +105,7 @@ class _Lane:
             get_workload(spec.workload),
             seed=spec.seed,
             engine=spec.engine,
+            parity=spec.parity,
         )
         self.policy = make_policy(resolved_policy_name(spec))
         self.control = RunControl(budget_fraction=None, stop=False)
@@ -257,6 +258,7 @@ class Session:
             max_epochs=spec.max_epochs,
             engine=spec.engine,
             record_decision_time=spec.record_decision_time,
+            parity=spec.parity,
         )
         if spec.lanes:
             # None-valued lane overrides inherit the session default.
@@ -537,6 +539,7 @@ class Session:
             "n_cores": self.spec.n_cores,
             "n_controllers": self.spec.n_controllers,
             "engine": self.spec.engine,
+            "parity": self.spec.parity,
             "running": self.running,
             "finished": self.finished,
             "epochs_completed": self.epochs_completed,

@@ -174,6 +174,12 @@ class RunResult:
     epochs: List[EpochRecord] = field(default_factory=list)
     instructions: Optional[np.ndarray] = None
     elapsed_s: float = 0.0
+    #: In-memory run telemetry (operating-point memo hit rates, ...).
+    #: Deliberately excluded from :mod:`repro.sim.results_io`
+    #: serialization — and therefore from golden content hashes and
+    #: the result cache — so measurement counters can evolve without
+    #: invalidating fixtures.
+    stats: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -386,12 +392,28 @@ class ServerSimulator:
         seed: int = 0,
         engine: str = "mva",
         eventsim_window_s: float = 40e-6,
+        parity: str = "exact",
     ) -> None:
         if engine not in ("mva", "eventsim"):
             raise ConfigurationError(f"unknown engine {engine!r}")
+        if parity not in ("exact", "relaxed"):
+            raise ConfigurationError(f"unknown parity tier {parity!r}")
         self.config = config
         self.workload = workload
         self.engine = engine
+        #: Numeric parity tier: ``"exact"`` serves every AMVA solve
+        #: through the byte-reproducible numpy kernel; ``"relaxed"``
+        #: routes solves through the fused compiled kernel (run-level
+        #: ≤1e-8 relative agreement, see repro.queueing.kernels).
+        self.parity = parity
+        if parity == "relaxed":
+            from repro.queueing.kernels import warmup
+
+            # Resolve and compile up front (memoised per process), so
+            # JIT/compile cost never lands inside a measured epoch.
+            self._kernel = warmup()
+        else:
+            self._kernel = None
         self._eventsim_window_s = eventsim_window_s
         self._run_seed = seed
         self._rng = np.random.default_rng(seed)
@@ -432,6 +454,14 @@ class ServerSimulator:
         #: measurement windows deterministically (independent of how
         #: many draws other consumers took from ``self._rng``).
         self._op_index = 0
+        # Operating-point memoization hit-rate measurement (ROADMAP
+        # item 4a): counts how often an operating-point solve repeats a
+        # previously seen (settings, phase, ips-estimate) key.  Pure
+        # telemetry — no result is ever served from this set — so the
+        # next PR can decide whether real memoization would pay.
+        self._op_solves = 0
+        self._op_memo_hits = 0
+        self._op_seen: Dict[Tuple, None] = {}
         # --- live-control hooks (service mode / fault injection) ------
         # All default to None so batch runs stay on the exact seed code
         # path (golden parity).  See `set_think_scale`,
@@ -661,6 +691,66 @@ class ServerSimulator:
     # ------------------------------------------------------------------
     # Operating-point solve (ground truth)
     # ------------------------------------------------------------------
+    def _serve_solve(self, request: "SolveRequest") -> MVASolution:
+        """Serve one solve request on this simulator's parity tier."""
+        if self._kernel is not None:
+            return self._solver.solve_relaxed(
+                self._kernel,
+                initial_throughput=request.warm_start,
+                tolerance=request.tolerance,
+            )
+        return self._solver.solve(
+            initial_throughput=request.warm_start,
+            tolerance=request.tolerance,
+        )
+
+    def _count_operating_point(
+        self,
+        settings: "FrequencySettings",
+        mpki: np.ndarray,
+        wpki: np.ndarray,
+        cpi_exe: np.ndarray,
+        row_hit: np.ndarray,
+    ) -> None:
+        """Record one solve against the memoization hit-rate counter.
+
+        The key quantizes the IPS-estimate feedback state to ~2%
+        relative (log-scale buckets): two solves whose keys collide
+        would produce operating points well within the 1% counter
+        noise, which is the precision a future memo cache would need.
+        """
+        ips_bucket = np.round(
+            np.log10(np.abs(self._ips_estimate) + 1e-300) * 100.0
+        )
+        key = (
+            settings.core_frequencies_hz,
+            settings.bus_frequency_hz,
+            mpki.tobytes(),
+            wpki.tobytes(),
+            cpi_exe.tobytes(),
+            row_hit.tobytes(),
+            ips_bucket.tobytes(),
+        )
+        self._op_solves += 1
+        if key in self._op_seen:
+            self._op_memo_hits += 1
+        else:
+            if len(self._op_seen) >= 4096:
+                self._op_seen.pop(next(iter(self._op_seen)))
+            self._op_seen[key] = None
+
+    @property
+    def operating_point_stats(self) -> Dict[str, float]:
+        """Memoization-counter telemetry (ROADMAP item 4a measurement)."""
+        solves = self._op_solves
+        return {
+            "op_solves": float(solves),
+            "op_memo_hits": float(self._op_memo_hits),
+            "op_memo_hit_rate": (
+                self._op_memo_hits / solves if solves else 0.0
+            ),
+        }
+
     def solve_operating_point(
         self,
         settings: FrequencySettings,
@@ -682,10 +772,7 @@ class ServerSimulator:
                 request = gen.send(solution)
             except StopIteration as stop:
                 return stop.value
-            solution = self._solver.solve(
-                initial_throughput=request.warm_start,
-                tolerance=request.tolerance,
-            )
+            solution = self._serve_solve(request)
 
     def _operating_point_steps(
         self,
@@ -707,6 +794,7 @@ class ServerSimulator:
         """
         cfg = self.config
         mpki, wpki, cpi_exe, row_hit = self._phase_parameters(instructions_retired)
+        self._count_operating_point(settings, mpki, wpki, cpi_exe, row_hit)
 
         base_blocking = cfg.ooo.blocking_fraction if cfg.ooo.enabled else 1.0
         blocking_fraction = base_blocking
@@ -1092,10 +1180,7 @@ class ServerSimulator:
             except StopIteration as stop:
                 return stop.value
             if isinstance(request, SolveRequest):
-                response = self._solver.solve(
-                    initial_throughput=request.warm_start,
-                    tolerance=request.tolerance,
-                )
+                response = self._serve_solve(request)
             elif isinstance(request, DecideRequest):
                 t0 = time.perf_counter()
                 settings = request.policy.decide(request.counters)
@@ -1140,6 +1225,8 @@ class ServerSimulator:
         settings = FrequencySettings.all_max(cfg)
         instructions = np.zeros(cfg.n_cores)
         now = 0.0
+        op_solves_before = self._op_solves
+        op_hits_before = self._op_memo_hits
         result = RunResult(
             policy_name=policy.name,
             workload_name=self.workload.name,
@@ -1251,6 +1338,15 @@ class ServerSimulator:
 
         result.instructions = instructions
         result.elapsed_s = now
+        # Per-run memo telemetry: diff the simulator-lifetime counters
+        # against their values when this run started.
+        solves = self._op_solves - op_solves_before
+        hits = self._op_memo_hits - op_hits_before
+        result.stats = {
+            "op_solves": float(solves),
+            "op_memo_hits": float(hits),
+            "op_memo_hit_rate": hits / solves if solves else 0.0,
+        }
         return result
 
 
@@ -1395,29 +1491,53 @@ class FleetSimulator:
     def _serve_solves(
         self, solves: Dict[int, SolveRequest], responses: Dict[int, object]
     ) -> None:
-        # Group by tolerance (uniform in practice — every lane's
-        # operating-point solve uses the same tolerance constant).
-        by_tol: Dict[float, List[int]] = {}
+        # Group by (tolerance, parity tier).  Tolerance is uniform in
+        # practice — every lane's operating-point solve uses the same
+        # constant — and parity partitions lanes between the exact
+        # lockstep solver and the relaxed compiled kernel, so a mixed
+        # fleet serves each tier's lanes on that tier's contract.
+        groups: Dict[Tuple[float, str], List[int]] = {}
         for i, req in solves.items():
-            by_tol.setdefault(req.tolerance, []).append(i)
-        for tolerance, lane_ids in by_tol.items():
+            key = (req.tolerance, self.lanes[i].simulator.parity)
+            groups.setdefault(key, []).append(i)
+        for (tolerance, parity), lane_ids in groups.items():
+            # A relaxed group without a compiled backend runs the exact
+            # path (same contract, see MVASolver.solve_relaxed).
+            kernel = self.lanes[lane_ids[0]].simulator._kernel
+            relaxed = parity == "relaxed" and kernel is not None
             if len(lane_ids) == 1:
                 i = lane_ids[0]
                 req = solves[i]
-                responses[i] = self.lanes[i].simulator._solver.solve(
-                    initial_throughput=req.warm_start,
-                    tolerance=tolerance,
-                )
+                solver = self.lanes[i].simulator._solver
+                if relaxed:
+                    responses[i] = solver.solve_relaxed(
+                        kernel,
+                        initial_throughput=req.warm_start,
+                        tolerance=tolerance,
+                    )
+                else:
+                    responses[i] = solver.solve(
+                        initial_throughput=req.warm_start,
+                        tolerance=tolerance,
+                    )
                 continue
             mask = np.zeros(len(self.lanes), dtype=bool)
             for i in lane_ids:
                 mask[i] = True
                 self._warm[i] = solves[i].warm_start
-            solutions = self._fleet_solver.solve(
-                tolerance=tolerance,
-                initial_throughput=self._warm,
-                lanes=mask,
-            )
+            if relaxed:
+                solutions = self._fleet_solver.solve_relaxed(
+                    kernel,
+                    tolerance=tolerance,
+                    initial_throughput=self._warm,
+                    lanes=mask,
+                )
+            else:
+                solutions = self._fleet_solver.solve(
+                    tolerance=tolerance,
+                    initial_throughput=self._warm,
+                    lanes=mask,
+                )
             for i in lane_ids:
                 responses[i] = solutions[i]
 

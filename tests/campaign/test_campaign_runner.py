@@ -201,3 +201,15 @@ class TestRunnerSemantics:
         noisy = runner.run(base.replace(counter_noise=0.2, power_noise=0.2))
         clean = runner.run(base.replace(counter_noise=0.0, power_noise=0.0))
         assert canonical_bytes(noisy) != canonical_bytes(clean)
+
+    def test_unknown_parity_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="parity"):
+            CampaignRunner(parity="loose")
+
+    def test_runner_accumulates_operating_point_stats(self):
+        runner = CampaignRunner()
+        runner.run_campaign(Campaign("one", tiny_grid().specs[:2]))
+        assert runner.op_solves > 0
+        assert 0 <= runner.op_memo_hits <= runner.op_solves

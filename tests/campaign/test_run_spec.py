@@ -108,6 +108,33 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             make_spec(workload="")
 
+    def test_unknown_parity_rejected(self):
+        with pytest.raises(ConfigurationError, match="parity"):
+            make_spec(parity="approximate")
+
+
+class TestParityTier:
+    def test_exact_tier_serializes_like_pre_parity_format(self):
+        # Hash/fixture stability: the default tier must not appear in
+        # the canonical JSON, so golden-fixture keys and existing cache
+        # entries keep their hashes.
+        data = make_spec().to_dict()
+        assert "parity" not in data
+        assert "parity" not in make_spec().to_json()
+
+    def test_relaxed_tier_serializes_and_hashes_differently(self):
+        relaxed = make_spec(parity="relaxed")
+        assert relaxed.to_dict()["parity"] == "relaxed"
+        assert relaxed.spec_hash() != make_spec().spec_hash()
+
+    def test_parity_round_trips(self):
+        relaxed = make_spec(parity="relaxed")
+        assert RunSpec.from_json(relaxed.to_json()) == relaxed
+        assert RunSpec.from_dict(make_spec().to_dict()) == make_spec()
+
+    def test_baseline_keeps_parity(self):
+        assert make_spec(parity="relaxed").baseline_spec().parity == "relaxed"
+
 
 class TestBaselineSpec:
     def test_baseline_is_uncapped_max_freq(self):

@@ -1,0 +1,340 @@
+"""Compiled fixed-point kernels vs the exact AMVA solver.
+
+The pure-Python loop-nests in :mod:`repro.queueing.kernels.fused` are
+the reference transcription every compiled backend (numba, cc) must
+match; these tests exercise them un-jitted against
+:class:`~repro.queueing.mva.MVASolver` and, when a C compiler is
+present, the ``cc`` shared-library backend against both.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.queueing.arrays import NetworkArrays
+from repro.queueing.fleet import FleetSolver
+from repro.queueing.kernels import (
+    KERNEL_ENV_VAR,
+    FixedPointKernel,
+    KernelOutcome,
+    NumpyKernel,
+    available_kernels,
+    default_kernel_name,
+    get_kernel,
+    kernel_available,
+    warmup,
+)
+from repro.queueing.mva import MVASolver
+
+from tests.conftest import make_network
+
+#: Relaxed-tier agreement bound (mirrors the parity fixture's gate).
+RTOL = 1e-8
+
+needs_cc = pytest.mark.skipif(
+    not kernel_available("cc"), reason="no C compiler available"
+)
+needs_numba = pytest.mark.skipif(
+    not kernel_available("numba"), reason="numba not installed"
+)
+
+
+def make_solver(**kwargs) -> MVASolver:
+    return MVASolver(NetworkArrays.from_network(make_network(**kwargs)))
+
+
+def kernel_fixed_point(solver: MVASolver, kernel: FixedPointKernel):
+    """Run a kernel from the exact solver's cold-start state.
+
+    Replicates :meth:`MVASolver.solve`'s initialisation so the kernel
+    advances the same fixed point from the same starting point.
+    """
+    a = solver.arrays
+    x = a.population / (a.think_s + a.bank_service.mean() + a.bus_transfer.mean())
+    r_bank = np.tile(a.bank_service, (a.n_classes, 1))
+    q = x[:, None] * a.routing * r_bank
+    outcome = kernel.solve_lane(
+        a.routing,
+        a.bank_service,
+        a.bus_transfer,
+        a.bank_ctrl,
+        a.bg_rates,
+        a.population,
+        a.think_s,
+        x,
+        q,
+        r_bank,
+    )
+    return x, outcome
+
+
+NETWORK_CASES = [
+    dict(),
+    dict(n_classes=16, think_ns=5.0),
+    dict(n_classes=8, n_banks=16, n_controllers=2),
+    dict(n_classes=32, think_ns=1.0, service_ns=40, bus_ns=5),
+]
+
+
+# ----------------------------------------------------------------------
+# Registry / resolution
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert kernel_available("numpy")
+        assert "numpy" in available_kernels()
+
+    def test_numpy_kernel_is_not_compiled(self):
+        kernel = get_kernel("numpy")
+        assert isinstance(kernel, NumpyKernel)
+        assert not kernel.compiled
+
+    def test_instances_are_memoised(self):
+        assert get_kernel("numpy") is get_kernel("numpy")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            get_kernel("fortran")
+
+    def test_unavailable_name_rejected(self):
+        missing = [n for n in ("numba", "cc") if not kernel_available(n)]
+        if not missing:
+            pytest.skip("every backend is available here")
+        with pytest.raises(ConfigurationError, match="not available"):
+            get_kernel(missing[0])
+
+    def test_env_override_unknown_is_loud(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "fortran")
+        with pytest.raises(ConfigurationError, match=KERNEL_ENV_VAR):
+            default_kernel_name()
+
+    def test_env_override_unavailable_is_loud(self, monkeypatch):
+        missing = [n for n in ("numba", "cc") if not kernel_available(n)]
+        if not missing:
+            pytest.skip("every backend is available here")
+        monkeypatch.setenv(KERNEL_ENV_VAR, missing[0])
+        with pytest.raises(ConfigurationError, match="not available"):
+            default_kernel_name()
+
+    def test_env_override_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "numpy")
+        assert default_kernel_name() == "numpy"
+
+    def test_default_prefers_compiled_backends(self):
+        names = available_kernels()
+        assert default_kernel_name() == names[0]
+
+    def test_warmup_returns_ready_kernel(self):
+        kernel = warmup("numpy")
+        assert isinstance(kernel, FixedPointKernel)
+        assert warmup("numpy") is kernel
+
+    def test_get_kernel_accepts_instance(self):
+        kernel = get_kernel("numpy")
+        assert get_kernel(kernel) is kernel
+
+    def test_outcome_converged_property(self):
+        assert KernelOutcome(12, 1e-12, 0.5).converged
+        assert not KernelOutcome(0, 1e-3, 0.25).converged
+
+
+# ----------------------------------------------------------------------
+# Pure-Python loop-nests (the reference transcription) vs exact solver
+# ----------------------------------------------------------------------
+class TestFusedReference:
+    @pytest.mark.parametrize("case", NETWORK_CASES)
+    def test_matches_exact_solver(self, case):
+        solver = make_solver(**case)
+        exact = solver.solve()
+        x, outcome = kernel_fixed_point(solver, get_kernel("numpy"))
+        assert outcome.converged
+        np.testing.assert_allclose(x, exact.throughput_per_s, rtol=RTOL)
+
+    def test_same_iteration_count_as_exact(self):
+        solver = make_solver(n_classes=16, think_ns=5.0)
+        exact = solver.solve()
+        _, outcome = kernel_fixed_point(solver, get_kernel("numpy"))
+        assert outcome.iterations == exact.iterations
+
+    def test_exhausted_budget_reports_state(self):
+        solver = make_solver()
+        a = solver.arrays
+        x = a.population / (
+            a.think_s + a.bank_service.mean() + a.bus_transfer.mean()
+        )
+        r_bank = np.tile(a.bank_service, (a.n_classes, 1))
+        q = x[:, None] * a.routing * r_bank
+        outcome = get_kernel("numpy").solve_lane(
+            a.routing,
+            a.bank_service,
+            a.bus_transfer,
+            a.bank_ctrl,
+            a.bg_rates,
+            a.population,
+            a.think_s,
+            x,
+            q,
+            r_bank,
+            1,
+            2,  # max_iterations far too small
+        )
+        assert not outcome.converged
+        assert outcome.last_rel_change > 0
+        assert outcome.damping == 0.5  # no decay within 2 iterations
+
+    def test_batched_entry_matches_single_lane(self):
+        cases = [dict(n_classes=8, think_ns=t) for t in (5.0, 20.0, 60.0)]
+        solvers = [make_solver(**c) for c in cases]
+        kernel = get_kernel("numpy")
+        singles = [kernel_fixed_point(s, kernel) for s in solvers]
+
+        a0 = solvers[0].arrays
+        r = len(solvers)
+        routing = np.stack([s.arrays.routing for s in solvers])
+        bank_service = np.stack([s.arrays.bank_service for s in solvers])
+        bus_transfer = np.stack([s.arrays.bus_transfer for s in solvers])
+        bg_rates = np.stack([s.arrays.bg_rates for s in solvers])
+        population = np.stack([s.arrays.population for s in solvers])
+        think = np.stack([s.arrays.think_s for s in solvers])
+        x = population / (
+            think
+            + bank_service.mean(axis=1)[:, None]
+            + bus_transfer.mean(axis=1)[:, None]
+        )
+        r_bank = np.repeat(bank_service[:, None, :], a0.n_classes, axis=1)
+        q = x[:, :, None] * routing * r_bank
+        iters, rels, damps = kernel.solve_lanes(
+            routing,
+            bank_service,
+            bus_transfer,
+            a0.bank_ctrl,
+            bg_rates,
+            population,
+            think,
+            x,
+            q,
+            r_bank,
+        )
+        for j in range(r):
+            x_single, outcome = singles[j]
+            assert int(iters[j]) == outcome.iterations
+            np.testing.assert_array_equal(x[j], x_single)
+
+
+# ----------------------------------------------------------------------
+# solve_relaxed integration
+# ----------------------------------------------------------------------
+class TestSolveRelaxed:
+    def test_numpy_fallback_is_bit_identical(self):
+        solver = make_solver(n_classes=16, think_ns=5.0)
+        exact = solver.solve()
+        x_exact = exact.throughput_per_s.copy()
+        relaxed = solver.solve_relaxed(kernel="numpy")
+        np.testing.assert_array_equal(relaxed.throughput_per_s, x_exact)
+        assert relaxed.iterations == exact.iterations
+
+    @pytest.mark.parametrize("case", NETWORK_CASES)
+    def test_compiled_agrees_with_exact(self, case):
+        names = [n for n in ("cc", "numba") if kernel_available(n)]
+        if not names:
+            pytest.skip("no compiled backend available")
+        solver = make_solver(**case)
+        exact = solver.solve()
+        x_exact = exact.throughput_per_s.copy()
+        for name in names:
+            relaxed = solver.solve_relaxed(kernel=name)
+            np.testing.assert_allclose(
+                relaxed.throughput_per_s, x_exact, rtol=RTOL
+            )
+            np.testing.assert_allclose(
+                relaxed.memory_response_s, exact.memory_response_s, rtol=RTOL
+            )
+
+    @needs_cc
+    def test_cc_same_iteration_count(self):
+        solver = make_solver(n_classes=16, think_ns=5.0)
+        exact = solver.solve()
+        relaxed = solver.solve_relaxed(kernel="cc")
+        assert relaxed.iterations == exact.iterations
+
+
+# ----------------------------------------------------------------------
+# Fleet integration
+# ----------------------------------------------------------------------
+class TestFleetRelaxed:
+    def _fleet(self):
+        cases = [dict(n_classes=8, think_ns=t) for t in (5.0, 15.0, 40.0, 80.0)]
+        return FleetSolver(
+            [NetworkArrays.from_network(make_network(**c)) for c in cases]
+        )
+
+    def test_numpy_fallback_matches_exact_fleet(self):
+        fleet = self._fleet()
+        exact = fleet.solve()
+        relaxed = self._fleet().solve_relaxed(kernel="numpy")
+        for e, r in zip(exact, relaxed):
+            np.testing.assert_array_equal(
+                r.throughput_per_s, e.throughput_per_s
+            )
+
+    @needs_cc
+    def test_cc_agrees_with_exact_fleet(self):
+        fleet = self._fleet()
+        exact = fleet.solve()
+        relaxed = self._fleet().solve_relaxed(kernel="cc")
+        for e, r in zip(exact, relaxed):
+            np.testing.assert_allclose(
+                r.throughput_per_s, e.throughput_per_s, rtol=RTOL
+            )
+            assert r.iterations == e.iterations
+
+    @needs_cc
+    def test_cc_respects_lane_mask(self):
+        fleet = self._fleet()
+        mask = np.array([True, False, True, False])
+        solutions = fleet.solve_relaxed(kernel="cc", lanes=mask)
+        assert solutions[1] is None and solutions[3] is None
+        exact = self._fleet().solve(lanes=mask)
+        np.testing.assert_allclose(
+            solutions[0].throughput_per_s,
+            exact[0].throughput_per_s,
+            rtol=RTOL,
+        )
+
+
+# ----------------------------------------------------------------------
+# Warm-start property (satellite c): exact solver and kernel converge
+# to the same fixed point from arbitrary feasible warm starts.
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    scale=st.floats(min_value=0.05, max_value=4.0),
+    tilt=st.floats(min_value=-0.8, max_value=0.8),
+    think_ns=st.floats(min_value=2.0, max_value=120.0),
+)
+def test_warm_starts_reach_the_same_fixed_point(scale, tilt, think_ns):
+    solver = make_solver(n_classes=8, think_ns=think_ns)
+    cold = solver.solve()
+    reference = cold.throughput_per_s.copy()
+
+    # A feasible but arbitrary warm start: scaled and tilted across
+    # classes, strictly positive.
+    n = reference.size
+    warm = reference * scale * (1.0 + tilt * np.linspace(-1.0, 1.0, n))
+    warm = np.maximum(warm, 1e3)
+
+    warm_exact = solver.solve(initial_throughput=warm.copy())
+    np.testing.assert_allclose(
+        warm_exact.throughput_per_s, reference, rtol=RTOL
+    )
+
+    for name in ("numpy",) + tuple(
+        n for n in ("cc",) if kernel_available(n)
+    ):
+        relaxed = solver.solve_relaxed(
+            kernel=name, initial_throughput=warm.copy()
+        )
+        np.testing.assert_allclose(
+            relaxed.throughput_per_s, reference, rtol=RTOL
+        )

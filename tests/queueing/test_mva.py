@@ -99,6 +99,18 @@ class TestHeavyLoad:
         with pytest.raises(ConvergenceError):
             solve_mva(small_network, max_iterations=2)
 
+    def test_convergence_error_reports_solver_state(self, small_network):
+        # An impossible tolerance exhausts the budget; the error must
+        # carry the iteration count, the last relative change, and the
+        # damping after its scheduled decays (once at iteration 300).
+        with pytest.raises(ConvergenceError) as info:
+            solve_mva(small_network, max_iterations=350, tolerance=0.0)
+        err = info.value
+        assert err.iterations == 350
+        assert err.last_rel_change is not None and err.last_rel_change >= 0.0
+        assert err.damping == pytest.approx(0.25)
+        assert "damping" in str(err)
+
 
 class TestMultiController:
     def test_split_controllers_balance(self):

@@ -60,6 +60,24 @@ class TestSessionCreation:
         assert response.status_code == 400
         assert "magic" in response.json()["error"]
 
+    def test_bad_parity_rejected(self, client):
+        response = client.post(
+            "/sessions", json={"workload": "MIX1", "parity": "loose"}
+        )
+        assert response.status_code == 400
+        assert "loose" in response.json()["error"]
+
+    def test_relaxed_parity_session_steps(self, client):
+        # A relaxed-tier session must create and advance; with no
+        # compiled kernel present it transparently runs the exact path.
+        sid = make_session(client, parity="relaxed")
+        response = client.post(f"/sessions/{sid}/step", json={"epochs": 2})
+        assert response.status_code == 200
+        assert response.json()["epochs_completed"] == 2
+        assert client.get(f"/sessions/{sid}").json()["parity"] == "relaxed"
+        default = client.get(f"/sessions/{make_session(client)}").json()
+        assert default["parity"] == "exact"
+
     def test_nonpositive_values_rejected(self, client):
         for field, value in (
             ("n_cores", 0),

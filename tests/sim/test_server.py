@@ -148,6 +148,55 @@ class TestRunLoop:
         assert np.all(res.per_core_tpi_s() > 0)
 
 
+class TestOperatingPointMemoCounter:
+    def test_repeated_solve_counts_a_hit(self, sim16, config16):
+        # The key includes a quantized IPS estimate, which settles over
+        # the first few solves; repeating the same settings must then
+        # start registering hits.
+        settings = FrequencySettings.all_max(config16)
+        for _ in range(6):
+            sim16.solve_operating_point(settings, np.zeros(16))
+            if sim16.operating_point_stats["op_memo_hits"] >= 1:
+                break
+        stats = sim16.operating_point_stats
+        assert stats["op_memo_hits"] >= 1
+        assert stats["op_solves"] > stats["op_memo_hits"]
+        assert 0.0 < stats["op_memo_hit_rate"] <= 1.0
+
+    def test_distinct_settings_do_not_hit(self, sim16, config16):
+        sim16.solve_operating_point(
+            FrequencySettings.all_max(config16), np.zeros(16)
+        )
+        sim16.solve_operating_point(
+            FrequencySettings.all_min(config16), np.zeros(16)
+        )
+        stats = sim16.operating_point_stats
+        assert stats["op_solves"] >= 2
+        assert stats["op_memo_hits"] == 0
+
+    def test_run_result_surfaces_stats(self, config16):
+        sim = ServerSimulator(config16, get_workload("MID1"), seed=5)
+        res = sim.run(
+            MaxFrequencyPolicy(), 1.0, instruction_quota=None, max_epochs=3
+        )
+        assert set(res.stats) == {
+            "op_solves",
+            "op_memo_hits",
+            "op_memo_hit_rate",
+        }
+        assert res.stats["op_solves"] > 0
+        assert 0.0 <= res.stats["op_memo_hit_rate"] <= 1.0
+
+    def test_stats_do_not_reach_serialized_results(self, config16):
+        from repro.sim.results_io import run_result_to_dict
+
+        sim = ServerSimulator(config16, get_workload("MID1"), seed=5)
+        res = sim.run(
+            MaxFrequencyPolicy(), 1.0, instruction_quota=None, max_epochs=2
+        )
+        assert "stats" not in run_result_to_dict(res)
+
+
 class TestConfigurationModes:
     def test_ooo_mode_runs(self):
         cfg = table2_config(16, ooo=True)

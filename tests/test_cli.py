@@ -67,6 +67,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--batch", "warp"])
 
+    def test_parity_flag(self):
+        args = build_parser().parse_args(["sweep", "--parity", "relaxed"])
+        assert args.parity == "relaxed"
+        # Default leaves every spec at its declared tier.
+        assert build_parser().parse_args(["sweep"]).parity is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--parity", "loose"])
+
+    def test_parity_flag_reaches_runner(self):
+        args = build_parser().parse_args(["sweep", "--parity", "relaxed"])
+        assert build_runner(args).parity == "relaxed"
+        assert build_runner(build_parser().parse_args(["sweep"])).parity is None
+
 
 class TestJobsDefault:
     """Regression for the ROADMAP follow-up: multi-spec figure commands

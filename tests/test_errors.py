@@ -32,3 +32,22 @@ def test_infeasible_budget_carries_values():
 def test_repro_error_is_catchable_as_exception():
     with pytest.raises(Exception):
         raise errors.WorkloadError("nope")
+
+
+def test_convergence_error_carries_diagnostics():
+    err = errors.ConvergenceError(
+        "did not converge",
+        iterations=2000,
+        last_rel_change=3.2e-7,
+        damping=0.125,
+    )
+    assert err.iterations == 2000
+    assert err.last_rel_change == 3.2e-7
+    assert err.damping == 0.125
+
+
+def test_convergence_error_diagnostics_default_to_none():
+    err = errors.ConvergenceError("plain message")
+    assert err.iterations is None
+    assert err.last_rel_change is None
+    assert err.damping is None
