@@ -37,13 +37,21 @@ Quick start::
         print(spec.workload, spec.policy, run.mean_power_w())
 """
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import (
+    HttpResultCache,
+    ImportReport,
+    ResultCache,
+    export_cache,
+    import_cache,
+    open_result_cache,
+)
 from repro.campaign.campaign import Campaign, CampaignResult
 from repro.campaign.runner import (
     CampaignRunner,
     config_for_spec,
     execute_fleet,
     execute_spec,
+    predicted_epochs,
     resolved_policy_name,
 )
 from repro.campaign.spec import RunSpec
@@ -52,10 +60,16 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "CampaignRunner",
+    "HttpResultCache",
+    "ImportReport",
     "ResultCache",
     "RunSpec",
     "config_for_spec",
     "execute_fleet",
     "execute_spec",
+    "export_cache",
+    "import_cache",
+    "open_result_cache",
+    "predicted_epochs",
     "resolved_policy_name",
 ]

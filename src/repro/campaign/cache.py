@@ -1,4 +1,4 @@
-"""Content-addressed on-disk cache of run results.
+"""Content-addressed caches of run results, local and shared.
 
 Each entry is keyed by the spec's content hash (``RunSpec.spec_hash``)
 and stores the spec alongside the result, so entries are
@@ -9,15 +9,35 @@ requested one and a mismatch is treated as a miss.
 Entries are written atomically (temp file + rename) so concurrent
 workers racing on the same spec cannot leave a torn file; corrupted or
 unreadable entries degrade to cache misses rather than errors.
+
+Beyond the per-directory :class:`ResultCache`, this module makes the
+cache *shareable*:
+
+* :func:`export_cache` / :func:`import_cache` — a single ``.tar.gz``
+  bundle (``manifest.json`` + ``entries/``) with per-entry sha256
+  verification, so machine A's runs become machine B's hits;
+* :class:`HttpResultCache` — the same get/put surface against the
+  ``repro.service`` control plane's ``GET/PUT /cache/<key>`` routes,
+  so CI jobs and many machines share one live cache;
+* :func:`open_result_cache` — dispatches a location string to the
+  right backend (``http(s)://`` → HTTP, anything else → directory).
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import logging
 import os
+import re
+import tarfile
 import tempfile
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.campaign.spec import RunSpec
 from repro.errors import ConfigurationError, ExperimentError
@@ -33,6 +53,14 @@ from repro.sim.server import RunResult
 
 #: Supported on-disk entry formats.
 CACHE_FORMATS = ("json", "npz")
+
+#: Bundle manifest schema version (export/import).
+BUNDLE_FORMAT_VERSION = 1
+
+#: Valid cache entry file names: 16-hex spec hash + a known format.
+ENTRY_NAME_RE = re.compile(r"^[0-9a-f]{16}\.(json|npz)$")
+
+logger = logging.getLogger("repro.campaign")
 
 
 class ResultCache:
@@ -105,3 +133,357 @@ class ResultCache:
                 os.unlink(tmp)
             raise
         return path
+
+    def put_entry_bytes(self, name: str, data: bytes) -> Path:
+        """Atomically install verified raw entry bytes under ``name``.
+
+        The transport layer for import/HTTP sharing; callers must have
+        validated ``data`` with :func:`verify_entry_bytes` first.
+        """
+        path = self.root / name
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=f".{self.fmt}"
+        )
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Raw entry codec — the byte format shared by disk, bundles, and HTTP
+# ----------------------------------------------------------------------
+def encode_entry(spec: RunSpec, result: RunResult, fmt: str) -> bytes:
+    """Serialize one cache entry to the on-disk byte format."""
+    if fmt not in CACHE_FORMATS:
+        raise ConfigurationError(
+            f"unknown cache format {fmt!r}; known: {list(CACHE_FORMATS)}"
+        )
+    if fmt == "npz":
+        fd, tmp = tempfile.mkstemp(suffix=".npz")
+        os.close(fd)
+        try:
+            save_run_result_npz(result, tmp, extra={"spec": spec.to_dict()})
+            with open(tmp, "rb") as handle:
+                return handle.read()
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    payload: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "spec": spec.to_dict(),
+        "result": run_result_to_dict(result),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _decode_entry_parts(
+    data: bytes, fmt: str
+) -> Tuple[Dict[str, Any], RunResult]:
+    """Raw entry bytes → (stored spec dict, result); raises if corrupt."""
+    if fmt == "npz":
+        fd, tmp = tempfile.mkstemp(suffix=".npz")
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        try:
+            spec_dict = (load_npz_extra(tmp) or {}).get("spec")
+            if not isinstance(spec_dict, dict):
+                raise ExperimentError("entry has no stored spec")
+            return spec_dict, load_run_result_npz(tmp)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    payload = json.loads(data.decode())
+    spec_dict = payload.get("spec")
+    if not isinstance(spec_dict, dict):
+        raise ExperimentError("entry has no stored spec")
+    return spec_dict, run_result_from_dict(payload["result"])
+
+
+def decode_entry(
+    data: bytes, spec: RunSpec, fmt: str
+) -> Optional[RunResult]:
+    """Decode entry bytes for ``spec``; ``None`` on mismatch/corruption."""
+    try:
+        spec_dict, result = _decode_entry_parts(data, fmt)
+    except (ValueError, KeyError, OSError, ExperimentError):
+        return None
+    if spec_dict != spec.to_dict():
+        return None
+    return result
+
+
+def verify_entry_bytes(name: str, data: bytes) -> None:
+    """Validate raw entry bytes against their claimed name.
+
+    Checks the name shape (16-hex hash + known format), that the bytes
+    decode, and that the *stored spec's* content hash equals the name's
+    hash — a shared cache must never serve bytes under a key their own
+    spec contradicts.  Raises :class:`ExperimentError` on any failure.
+    """
+    match = ENTRY_NAME_RE.match(name)
+    if match is None:
+        raise ExperimentError(f"invalid cache entry name {name!r}")
+    fmt = match.group(1)
+    try:
+        spec_dict, _ = _decode_entry_parts(data, fmt)
+        stored_hash = RunSpec.from_dict(spec_dict).spec_hash()
+    except (ValueError, KeyError, OSError, ExperimentError) as exc:
+        raise ExperimentError(f"corrupt cache entry {name!r}: {exc}")
+    if stored_hash != name[: name.index(".")]:
+        raise ExperimentError(
+            f"cache entry {name!r} stores a spec hashing to "
+            f"{stored_hash!r} — content does not match its key"
+        )
+
+
+# ----------------------------------------------------------------------
+# Export / import bundles
+# ----------------------------------------------------------------------
+@dataclass
+class ImportReport:
+    """What :func:`import_cache` did with each bundle entry."""
+
+    imported: List[str] = field(default_factory=list)
+    #: Already present in the destination (existing entries win).
+    skipped: List[str] = field(default_factory=list)
+    #: ``(name, reason)`` for entries that failed verification.
+    rejected: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def export_cache(
+    cache: ResultCache,
+    out_path: Union[str, Path],
+    specs: Optional[List[RunSpec]] = None,
+) -> Path:
+    """Bundle cache entries into a single shareable ``.tar.gz``.
+
+    The bundle holds ``manifest.json`` — format version, cache format,
+    and per-entry ``{name, sha256, size}`` — plus the raw entry files
+    under ``entries/``.  With ``specs`` given, exactly those entries
+    are exported (a missing one is an error: the caller asked for a
+    guarantee the bundle cannot give); otherwise every entry in the
+    cache ships.
+    """
+    if specs is not None:
+        names = []
+        for spec in specs:
+            path = cache.path_for(spec)
+            if not path.exists():
+                raise ExperimentError(
+                    f"cannot export {spec.spec_hash()}.{cache.fmt}: "
+                    "not in the cache"
+                )
+            names.append(path.name)
+    else:
+        names = sorted(path.name for path in cache.entries())
+
+    manifest_entries = []
+    blobs: List[Tuple[str, bytes]] = []
+    for name in names:
+        data = (cache.root / name).read_bytes()
+        manifest_entries.append(
+            {
+                "name": name,
+                "sha256": hashlib.sha256(data).hexdigest(),
+                "size": len(data),
+            }
+        )
+        blobs.append((name, data))
+    manifest = {
+        "format_version": BUNDLE_FORMAT_VERSION,
+        "cache_format": cache.fmt,
+        "entries": manifest_entries,
+    }
+
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(out.parent), prefix=".tmp-", suffix=".tar.gz"
+    )
+    os.close(fd)
+    try:
+        with tarfile.open(tmp, "w:gz") as tar:
+            payload = json.dumps(manifest, sort_keys=True, indent=1).encode()
+            info = tarfile.TarInfo("manifest.json")
+            info.size = len(payload)
+            tar.addfile(info, io.BytesIO(payload))
+            for name, data in blobs:
+                info = tarfile.TarInfo(f"entries/{name}")
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+        os.replace(tmp, out)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return out
+
+
+def import_cache(
+    cache: ResultCache, bundle_path: Union[str, Path]
+) -> ImportReport:
+    """Merge a bundle into ``cache``, verifying every entry.
+
+    Per-entry semantics (partial imports are the point — one bad entry
+    must not poison the rest):
+
+    * sha256 mismatch against the manifest, a name the entry's own
+      stored spec contradicts, or undecodable bytes → **rejected**;
+    * already present in the destination → **skipped** (existing
+      entries win — they were verified locally by construction);
+    * otherwise → atomically written, **imported**.
+
+    A missing/corrupt manifest or a bundle whose ``cache_format``
+    differs from the destination's raises — that is a caller error,
+    not a per-entry condition.
+    """
+    report = ImportReport()
+    with tarfile.open(bundle_path, "r:gz") as tar:
+        try:
+            handle = tar.extractfile("manifest.json")
+            if handle is None:
+                raise KeyError("manifest.json")
+            manifest = json.load(handle)
+        except (KeyError, ValueError) as exc:
+            raise ExperimentError(f"bundle has no readable manifest: {exc}")
+        if manifest.get("format_version") != BUNDLE_FORMAT_VERSION:
+            raise ExperimentError(
+                "unsupported bundle format_version "
+                f"{manifest.get('format_version')!r}"
+            )
+        if manifest.get("cache_format") != cache.fmt:
+            raise ExperimentError(
+                f"bundle holds {manifest.get('cache_format')!r} entries; "
+                f"destination cache uses {cache.fmt!r}"
+            )
+        for entry in manifest.get("entries", []):
+            name = entry.get("name", "")
+            if ENTRY_NAME_RE.match(name) is None or not name.endswith(
+                f".{cache.fmt}"
+            ):
+                report.rejected.append((name, "invalid entry name"))
+                continue
+            try:
+                handle = tar.extractfile(f"entries/{name}")
+                if handle is None:
+                    raise KeyError(name)
+                data = handle.read()
+            except (KeyError, OSError):
+                report.rejected.append((name, "missing from bundle"))
+                continue
+            if hashlib.sha256(data).hexdigest() != entry.get("sha256"):
+                report.rejected.append((name, "sha256 mismatch"))
+                continue
+            try:
+                verify_entry_bytes(name, data)
+            except ExperimentError as exc:
+                report.rejected.append((name, str(exc)))
+                continue
+            if (cache.root / name).exists():
+                report.skipped.append(name)
+                continue
+            cache.put_entry_bytes(name, data)
+            report.imported.append(name)
+    return report
+
+
+# ----------------------------------------------------------------------
+# HTTP cache backend (repro.service control plane)
+# ----------------------------------------------------------------------
+def _default_transport(
+    method: str, url: str, data: Optional[bytes] = None, timeout: float = 30.0
+) -> Tuple[int, bytes]:
+    """Stdlib HTTP transport: ``(status, body)``; 599 = unreachable."""
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("content-type", "application/octet-stream")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+    except urllib.error.URLError:
+        return 599, b""
+
+
+class HttpResultCache:
+    """Spec-hash → result cache served by a ``repro.service`` instance.
+
+    Speaks the control plane's ``GET/PUT /cache/<name>`` routes with
+    the same raw entry bytes the disk cache stores, so a directory
+    cache, a bundle, and a service-backed cache are one format.
+    ``transport`` is injectable for tests (in-process ASGI) and
+    defaults to a stdlib urllib transport; network failures degrade to
+    misses on read and logged no-ops on write — a flaky cache server
+    must never kill a campaign.
+    """
+
+    def __init__(
+        self, base_url: str, fmt: str = "json", transport=None
+    ) -> None:
+        if fmt not in CACHE_FORMATS:
+            raise ConfigurationError(
+                f"unknown cache format {fmt!r}; known: {list(CACHE_FORMATS)}"
+            )
+        base = base_url.rstrip("/")
+        if not base.endswith("/cache"):
+            base = f"{base}/cache"
+        self.base_url = base
+        self.fmt = fmt
+        self._transport = transport or _default_transport
+
+    def entry_name(self, spec: RunSpec) -> str:
+        return f"{spec.spec_hash()}.{self.fmt}"
+
+    def _url(self, name: str) -> str:
+        return f"{self.base_url}/{name}"
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        status, _ = self._transport("GET", self._url(self.entry_name(spec)))
+        return status == 200
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """Fetch and decode; any transport or decode failure is a miss."""
+        status, body = self._transport(
+            "GET", self._url(self.entry_name(spec))
+        )
+        if status != 200:
+            return None
+        return decode_entry(body, spec, self.fmt)
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        """Upload one entry; unreachable/5xx degrade to a warning."""
+        name = self.entry_name(spec)
+        data = encode_entry(spec, result, self.fmt)
+        status, body = self._transport("PUT", self._url(name), data)
+        if status in (200, 201):
+            return
+        if status == 400:
+            # The server *rejected* the entry — that is a local bug
+            # (encoding drift), not a transient network condition.
+            raise ExperimentError(
+                f"cache server rejected {name}: {body[:200]!r}"
+            )
+        logger.warning(
+            "cache put %s failed with status %d; continuing uncached",
+            name,
+            status,
+        )
+
+
+def open_result_cache(
+    location: str, fmt: str = "json"
+) -> Union[ResultCache, HttpResultCache]:
+    """Open a result cache by location string.
+
+    ``http://`` / ``https://`` locations get the service-backed
+    :class:`HttpResultCache`; anything else is a local directory.
+    """
+    if location.startswith(("http://", "https://")):
+        return HttpResultCache(location, fmt=fmt)
+    return ResultCache(location, fmt=fmt)

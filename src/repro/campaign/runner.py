@@ -36,15 +36,16 @@ from __future__ import annotations
 import json
 import logging
 from dataclasses import replace
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import ResultCache, open_result_cache
 from repro.campaign.campaign import Campaign, CampaignResult
-from repro.campaign.spec import PARITY_TIERS, RunSpec
+from repro.campaign.spec import MEMO_MODES, PARITY_TIERS, RunSpec
 from repro.errors import ConfigurationError
 from repro.policies.registry import format_policy_name, make_policy, parse_policy_name
 from repro.sim.config import SystemConfig, table2_config
-from repro.sim.server import RunResult, ServerSimulator
+from repro.sim.server import OpMemo, RunResult, ServerSimulator
 from repro.units import MS
 
 #: Spec batching strategies for campaign cache misses.
@@ -87,8 +88,16 @@ def resolved_policy_name(spec: RunSpec) -> str:
     return format_policy_name(base, params)
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Simulate one spec exactly as written (no scaling, no caching)."""
+def execute_spec(
+    spec: RunSpec, op_memo: Optional[OpMemo] = None
+) -> RunResult:
+    """Simulate one spec exactly as written (no scaling, no caching).
+
+    ``op_memo`` optionally injects a shared operating-point memo into
+    the simulator (only consulted when ``spec.memo == "op"``); the
+    simulator namespaces its keys by a config/routing token, so one
+    store can safely serve heterogeneous specs and repeated runs.
+    """
     from repro.workloads import get_workload  # local: keeps import cheap
 
     config = config_for_spec(spec)
@@ -98,6 +107,8 @@ def execute_spec(spec: RunSpec) -> RunResult:
         seed=spec.seed,
         engine=spec.engine,
         parity=spec.parity,
+        memo=spec.memo,
+        op_memo=op_memo,
     )
     policy = make_policy(resolved_policy_name(spec))
     return sim.run(
@@ -109,7 +120,60 @@ def execute_spec(spec: RunSpec) -> RunResult:
     )
 
 
-def execute_fleet(specs: Sequence[RunSpec]) -> List[RunResult]:
+def predicted_epochs(spec: RunSpec) -> float:
+    """Cheap pre-run estimate of a spec's length in epochs.
+
+    Used only for scheduling (grouping fleet lanes by expected length
+    and ordering the backfill queue longest-first), so it needs the
+    right *ordering*, not accuracy: the instruction quota is divided by
+    the slowest application's max-frequency IPS — capped runs retire
+    slower, so real runs are somewhat longer, uniformly so within a
+    shape group.  Unbounded live-control specs predict ``inf``.
+    """
+    bounds: List[float] = []
+    if spec.max_epochs is not None:
+        bounds.append(float(spec.max_epochs))
+    if spec.instruction_quota is not None:
+        from repro.workloads import get_workload  # local: keeps import cheap
+
+        config = config_for_spec(spec)
+        apps = get_workload(spec.workload).instantiate(spec.n_cores)
+        slowest_ips = min(
+            config.core_dvfs.f_max_hz / app.cpi_exe for app in apps
+        )
+        per_epoch = slowest_ips * config.epoch.epoch_s
+        bounds.append(spec.instruction_quota / max(per_epoch, 1e-300))
+    return min(bounds) if bounds else float("inf")
+
+
+def _build_lane(
+    spec: RunSpec, op_memo: Optional[OpMemo] = None
+) -> "FleetLane":
+    from repro.sim.server import FleetLane
+    from repro.workloads import get_workload  # local: keeps import cheap
+
+    sim = ServerSimulator(
+        config_for_spec(spec),
+        get_workload(spec.workload),
+        seed=spec.seed,
+        engine=spec.engine,
+        parity=spec.parity,
+        memo=spec.memo,
+        op_memo=op_memo,
+    )
+    return FleetLane(
+        simulator=sim,
+        policy=make_policy(resolved_policy_name(spec)),
+        budget_fraction=spec.budget_fraction,
+        instruction_quota=spec.instruction_quota,
+        max_epochs=spec.max_epochs,
+        measure_decision_time=spec.record_decision_time,
+    )
+
+
+def execute_fleet(
+    specs: Sequence[RunSpec], fleet_width: Optional[int] = None
+) -> List[RunResult]:
     """Simulate several shape-compatible specs in one lockstep fleet.
 
     The fleet twin of :func:`execute_spec`: each spec becomes one
@@ -124,32 +188,39 @@ def execute_fleet(specs: Sequence[RunSpec]) -> List[RunResult]:
     simulated numbers are identical too and only the measured wall
     times vary — the same nondeterminism any timed run has.
 
+    ``fleet_width`` bounds the lockstep width: the first ``width``
+    specs become lanes and the rest wait in the fleet's pending queue
+    (built lazily, admitted as lanes finish — see
+    :class:`FleetSimulator` backfill).  ``None`` gives every spec its
+    own lane, the historical behaviour.
+
     All specs must share the network shape — ``n_cores`` and
     ``n_controllers`` (:class:`FleetSimulator` validates).
     """
-    from repro.sim.server import FleetLane, FleetSimulator
-    from repro.workloads import get_workload  # local: keeps import cheap
+    results, _ = _execute_fleet_stats(specs, fleet_width)
+    return results
 
-    lanes = []
-    for spec in specs:
-        sim = ServerSimulator(
-            config_for_spec(spec),
-            get_workload(spec.workload),
-            seed=spec.seed,
-            engine=spec.engine,
-            parity=spec.parity,
-        )
-        lanes.append(
-            FleetLane(
-                simulator=sim,
-                policy=make_policy(resolved_policy_name(spec)),
-                budget_fraction=spec.budget_fraction,
-                instruction_quota=spec.instruction_quota,
-                max_epochs=spec.max_epochs,
-                measure_decision_time=spec.record_decision_time,
-            )
-        )
-    return FleetSimulator(lanes).run()
+
+def _execute_fleet_stats(
+    specs: Sequence[RunSpec],
+    fleet_width: Optional[int] = None,
+    op_memo: Optional[OpMemo] = None,
+) -> Tuple[List[RunResult], Dict[str, float]]:
+    """:func:`execute_fleet` plus the fleet's occupancy telemetry."""
+    from repro.sim.server import FleetSimulator
+
+    specs = list(specs)
+    width = len(specs) if fleet_width is None else max(int(fleet_width), 1)
+    lanes = [_build_lane(spec, op_memo=op_memo) for spec in specs[:width]]
+    # functools.partial rather than a lambda: free of the classic
+    # late-binding-loop-variable trap.
+    pending = [
+        partial(_build_lane, spec, op_memo=op_memo)
+        for spec in specs[width:]
+    ]
+    fleet = FleetSimulator(lanes, pending=pending)
+    results = fleet.run()
+    return results, fleet.occupancy_stats
 
 
 def _execute_spec_json(spec_json: str) -> Dict:
@@ -159,14 +230,37 @@ def _execute_spec_json(spec_json: str) -> Dict:
     return run_result_to_dict(execute_spec(RunSpec.from_json(spec_json)))
 
 
-def _execute_unit_json(unit_json: str) -> List[Dict]:
-    """Process-pool worker for one execution unit (1 spec or a fleet)."""
+def _execute_unit_json(unit_json: str) -> Dict:
+    """Process-pool worker for one execution unit (1 spec or a fleet).
+
+    Payload: ``{"specs": [spec_json, ...], "width": int | None}``.
+    Returns ``{"results": [result_dict, ...], "stats": {...}}`` —
+    ``RunResult.stats`` is excluded from result serialization by
+    contract, so the worker ships the unit's aggregate telemetry
+    (operating-point solve counters, fleet occupancy) alongside.
+    """
     from repro.sim.results_io import run_result_to_dict
 
-    specs = [RunSpec.from_json(text) for text in json.loads(unit_json)]
+    payload = json.loads(unit_json)
+    specs = [RunSpec.from_json(text) for text in payload["specs"]]
     if len(specs) == 1:
-        return [run_result_to_dict(execute_spec(specs[0]))]
-    return [run_result_to_dict(result) for result in execute_fleet(specs)]
+        results = [execute_spec(specs[0])]
+        stats: Dict[str, float] = {}
+    else:
+        results, stats = _execute_fleet_stats(specs, payload.get("width"))
+    stats = dict(stats)
+    stats["op_solves"] = sum(
+        (getattr(r, "stats", None) or {}).get("op_solves", 0.0)
+        for r in results
+    )
+    stats["op_memo_hits"] = sum(
+        (getattr(r, "stats", None) or {}).get("op_memo_hits", 0.0)
+        for r in results
+    )
+    return {
+        "results": [run_result_to_dict(result) for result in results],
+        "stats": stats,
+    }
 
 
 class CampaignRunner:
@@ -186,6 +280,8 @@ class CampaignRunner:
         batch: str = "scalar",
         fleet_width: int = 64,
         parity: Optional[str] = None,
+        memo: Optional[str] = None,
+        op_memo: Optional[OpMemo] = None,
     ) -> None:
         if batch not in BATCH_MODES:
             raise ConfigurationError(
@@ -195,6 +291,10 @@ class CampaignRunner:
             raise ConfigurationError(
                 f"unknown parity tier {parity!r}; known: {list(PARITY_TIERS)}"
             )
+        if memo is not None and memo not in MEMO_MODES:
+            raise ConfigurationError(
+                f"unknown memo mode {memo!r}; known: {list(MEMO_MODES)}"
+            )
         self.quick = quick
         self.quick_factor = quick_factor
         self.jobs = max(int(jobs), 1)
@@ -202,16 +302,36 @@ class CampaignRunner:
         #: name rewrites specs to that tier in :meth:`scaled` (relaxed
         #: specs hash differently, so the two tiers cache separately).
         self.parity = parity
+        #: ``None`` keeps every spec's declared memo mode; ``"op"`` /
+        #: ``"off"`` rewrites specs in :meth:`scaled` (eventsim specs
+        #: are left alone — the mva-only constraint lives on the spec).
+        self.memo = memo
         #: ``"scalar"`` loops :func:`execute_spec` over cache misses;
         #: ``"fleet"`` groups shape-compatible misses into lockstep
         #: :func:`execute_fleet` batches (byte-identical results).
         self.batch = batch
-        #: Maximum lanes per fleet; wider groups are chunked.
+        #: Lockstep width per fleet; larger groups feed the pending
+        #: queue and backfill lanes as runs finish.
         self.fleet_width = max(int(fleet_width), 1)
         self.cache = (
-            ResultCache(cache_dir, fmt=cache_format) if cache_dir else None
+            open_result_cache(cache_dir, fmt=cache_format)
+            if cache_dir
+            else None
         )
         self._memo: Dict[str, RunResult] = {}
+        #: One operating-point memo shared by every simulator this
+        #: runner builds in-process (``memo="op"`` runs only).  Keys
+        #: carry a config/routing token, so heterogeneous specs share
+        #: the store safely; a re-run campaign replays its stored
+        #: fixed points (the "warm memo" regime).  Worker processes
+        #: (``jobs > 1``) cannot share it and fall back to per-sim
+        #: memos.  An explicit ``op_memo`` (e.g. one warmed by another
+        #: runner) is adopted as-is, enabling warm-memo reruns.
+        self._op_memo: Optional[OpMemo] = (
+            op_memo
+            if op_memo is not None
+            else (OpMemo() if memo == "op" else None)
+        )
         #: Results served from the persistent cache.
         self.cache_hits = 0
         #: Results served from the in-process memo.
@@ -225,6 +345,40 @@ class CampaignRunner:
         #: counters surfaced from ``RunResult.stats``).
         self.op_solves = 0
         self.op_memo_hits = 0
+        #: Fleet lane-occupancy telemetry, accumulated across every
+        #: fleet this runner executed (including worker-side fleets):
+        #: lockstep ticks, lane-ticks actually served, lane-ticks the
+        #: configured widths could have served, and pending-queue
+        #: admissions.
+        self.fleet_ticks = 0
+        self.fleet_lane_ticks = 0
+        self.fleet_slot_ticks = 0
+        self.fleet_backfills = 0
+
+    @property
+    def op_memo(self) -> Optional[OpMemo]:
+        """The shared operating-point memo (``None`` unless memoizing).
+
+        Hand it to another runner's ``op_memo=`` to rerun a campaign
+        against an already-warm store.
+        """
+        return self._op_memo
+
+    @property
+    def fleet_occupancy(self) -> float:
+        """Fraction of lockstep lane slots that held a live run."""
+        return (
+            self.fleet_lane_ticks / self.fleet_slot_ticks
+            if self.fleet_slot_ticks
+            else 0.0
+        )
+
+    def _absorb_fleet_stats(self, stats: Dict[str, float]) -> None:
+        ticks = int(stats.get("fleet_ticks", 0))
+        self.fleet_ticks += ticks
+        self.fleet_lane_ticks += int(stats.get("fleet_lane_ticks", 0))
+        self.fleet_slot_ticks += ticks * int(stats.get("fleet_width", 0))
+        self.fleet_backfills += int(stats.get("fleet_backfills", 0))
 
     # ------------------------------------------------------------------
     def scaled(self, spec: RunSpec) -> RunSpec:
@@ -236,6 +390,12 @@ class CampaignRunner:
         """
         if self.parity is not None and spec.parity != self.parity:
             spec = replace(spec, parity=self.parity)
+        if (
+            self.memo is not None
+            and spec.memo != self.memo
+            and (self.memo == "off" or spec.engine == "mva")
+        ):
+            spec = replace(spec, memo=self.memo)
         if not self.quick:
             return spec
         quota = spec.instruction_quota
@@ -280,7 +440,7 @@ class CampaignRunner:
         found = self._lookup(scaled)
         if found is not None:
             return found
-        result = execute_spec(scaled)
+        result = execute_spec(scaled, op_memo=self._op_memo)
         self.runs_executed += 1
         self._store(scaled, result)
         return result
@@ -333,6 +493,9 @@ class CampaignRunner:
         if misses:
             op_solves_before = self.op_solves
             op_hits_before = self.op_memo_hits
+            slot_ticks_before = self.fleet_slot_ticks
+            lane_ticks_before = self.fleet_lane_ticks
+            backfills_before = self.fleet_backfills
             results.update(self._execute_misses(misses))
             solves = self.op_solves - op_solves_before
             hits = self.op_memo_hits - op_hits_before
@@ -344,6 +507,16 @@ class CampaignRunner:
                     solves,
                     hits,
                     100.0 * hits / solves,
+                )
+            slot_ticks = self.fleet_slot_ticks - slot_ticks_before
+            if slot_ticks:
+                logger.info(
+                    "campaign: fleet lane occupancy %.1f%% "
+                    "(%d backfills from the pending queue)",
+                    100.0
+                    * (self.fleet_lane_ticks - lane_ticks_before)
+                    / slot_ticks,
+                    self.fleet_backfills - backfills_before,
                 )
 
         by_hash = {
@@ -366,25 +539,46 @@ class CampaignRunner:
         """Group misses into execution units for fleet batching.
 
         Specs sharing a network shape (``n_cores``, ``n_controllers``)
-        form one fleet, chunked to ``fleet_width`` lanes; groups keep
-        first-appearance order and singletons run scalar.  Every unit
-        is an independent work item for the serial loop or the process
-        pool — with ``jobs > 1`` the chunk size also shrinks so each
-        group yields at least ~``jobs`` units, otherwise one maximal
-        fleet would leave the rest of the pool idle.
+        *and* a predicted-length band form one fleet; within a group,
+        specs run longest-first (LPT) so the long runs occupy lanes
+        from tick zero and the short ones backfill behind them.
+        Groups keep first-appearance order and singletons run scalar.
+        A unit may exceed ``fleet_width`` — execution backfills from
+        the pending queue rather than draining, so one wide unit beats
+        several sequential chunks.  Every unit is an independent work
+        item for the serial loop or the process pool — with
+        ``jobs > 1`` groups are split so each yields at least
+        ~``jobs`` units, otherwise one maximal fleet would leave the
+        rest of the pool idle.
         """
-        groups: Dict[Tuple[int, int], List[Tuple[int, RunSpec]]] = {}
+        estimates = {id(item[1]): predicted_epochs(item[1]) for item in misses}
+        groups: Dict[Tuple[int, int, int], List[Tuple[int, RunSpec]]] = {}
+        order: List[Tuple[int, int, int]] = []
         for item in misses:
-            key = (item[1].n_cores, item[1].n_controllers)
+            est = estimates[id(item[1])]
+            band = (
+                -1
+                if est == float("inf")
+                else max(int(est), 1).bit_length()
+            )
+            key = (item[1].n_cores, item[1].n_controllers, band)
+            if key not in groups:
+                order.append(key)
             groups.setdefault(key, []).append(item)
         units: List[List[Tuple[int, RunSpec]]] = []
-        for members in groups.values():
-            width = self.fleet_width
-            if self.jobs > 1:
+        for key in order:
+            members = groups[key]
+            # LPT: longest predicted run first, stable on miss order.
+            members = sorted(
+                members, key=lambda item: -estimates[id(item[1])]
+            )
+            if self.jobs > 1 and len(members) > 1:
                 per_worker = -(-len(members) // self.jobs)  # ceil div
-                width = max(2, min(width, per_worker))
-            for start in range(0, len(members), width):
-                units.append(members[start : start + width])
+                chunk = max(2, per_worker)
+                for start in range(0, len(members), chunk):
+                    units.append(members[start : start + chunk])
+            else:
+                units.append(members)
         return units
 
     def _execute_misses(
@@ -411,13 +605,25 @@ class CampaignRunner:
 
             workers = min(self.jobs, len(units))
             payloads = [
-                json.dumps([spec.to_json() for _, spec in unit])
+                json.dumps(
+                    {
+                        "specs": [spec.to_json() for _, spec in unit],
+                        "width": self.fleet_width,
+                    }
+                )
                 for unit in units
             ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                unit_dicts = list(pool.map(_execute_unit_json, payloads))
-            for unit, dicts in zip(units, unit_dicts):
-                for (i, spec), data in zip(unit, dicts):
+                unit_payloads = list(pool.map(_execute_unit_json, payloads))
+            for unit, payload in zip(units, unit_payloads):
+                stats = payload["stats"]
+                # Result serialization drops RunResult.stats by
+                # contract, so the worker's aggregate telemetry rides
+                # in the payload instead.
+                self.op_solves += int(stats.get("op_solves", 0))
+                self.op_memo_hits += int(stats.get("op_memo_hits", 0))
+                self._absorb_fleet_stats(stats)
+                for (i, spec), data in zip(unit, payload["results"]):
                     result = run_result_from_dict(data)
                     self.runs_executed += 1
                     if len(unit) > 1:
@@ -428,9 +634,14 @@ class CampaignRunner:
             for unit in units:
                 if len(unit) == 1:
                     i, spec = unit[0]
-                    results = [execute_spec(spec)]
+                    results = [execute_spec(spec, op_memo=self._op_memo)]
                 else:
-                    results = execute_fleet([spec for _, spec in unit])
+                    results, fleet_stats = _execute_fleet_stats(
+                        [spec for _, spec in unit],
+                        self.fleet_width,
+                        op_memo=self._op_memo,
+                    )
+                    self._absorb_fleet_stats(fleet_stats)
                     self.fleet_runs += len(unit)
                 for (i, spec), result in zip(unit, results):
                     self.runs_executed += 1

@@ -29,6 +29,12 @@ ENGINES = ("mva", "eventsim")
 #: relative agreement with the exact tier.
 PARITY_TIERS = ("exact", "relaxed")
 
+#: Operating-point memoization modes: ``"off"`` solves every operating
+#: point; ``"op"`` lets :class:`repro.sim.server.ServerSimulator` serve
+#: steady-state operating points from a bounded in-run memo cache once
+#: past the warm-up window (mva engine only).
+MEMO_MODES = ("off", "op")
+
 #: Fields that must be present in every spec dict.
 _REQUIRED_FIELDS = ("workload", "policy", "budget_fraction")
 
@@ -71,6 +77,7 @@ class RunSpec:
     power_noise: Optional[float] = None
     record_decision_time: bool = True
     parity: str = "exact"
+    memo: str = "off"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -81,6 +88,15 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown parity tier {self.parity!r}; "
                 f"known: {list(PARITY_TIERS)}"
+            )
+        if self.memo not in MEMO_MODES:
+            raise ConfigurationError(
+                f"unknown memo mode {self.memo!r}; known: {list(MEMO_MODES)}"
+            )
+        if self.memo == "op" and self.engine != "mva":
+            raise ConfigurationError(
+                "memo='op' requires the mva engine (eventsim measurement "
+                "windows are seeded per solve and cannot be skipped)"
             )
         if not self.workload:
             raise ConfigurationError("spec needs a workload name")
@@ -115,11 +131,14 @@ class RunSpec:
         existing cache entry's content hash stay valid.  Relaxed-tier
         specs serialize the field and therefore hash differently —
         correct, since their results may differ within the relaxed
-        tolerance.
+        tolerance.  ``memo`` follows the same rule: ``"off"`` is
+        omitted, memoized specs hash differently.
         """
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         if data["parity"] == "exact":
             del data["parity"]
+        if data["memo"] == "off":
+            del data["memo"]
         return data
 
     @classmethod

@@ -8,6 +8,8 @@ Examples::
     fastcap-repro sweep --workloads MIX1,MIX2 --policies fastcap,cpu-only \\
         --budgets 0.4,0.6 --max-epochs 40 --jobs 4 --cache-dir results/cache
     fastcap-repro batch campaign.json --jobs 8 --cache-dir results/cache
+    fastcap-repro cache export bundle.tar.gz --cache-dir results/cache
+    fastcap-repro serve --cache-dir results/cache   # shared HTTP cache
     python -m repro.cli run fig3 --quick
 
 ``run`` executes one registered paper experiment; ``sweep`` builds a
@@ -99,6 +101,16 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         "reduction order (byte-identical results), 'relaxed' allows "
         "the compiled MVA fixed-point kernels (run-level <=1e-8 "
         "relative agreement; default: run each spec as written)",
+    )
+    parser.add_argument(
+        "--memo",
+        choices=("off", "op"),
+        default=None,
+        help="operating-point memoization override: 'op' reuses "
+        "converged AMVA operating points across epochs whose inputs "
+        "repeat (mva engine only; exact-tier results stay "
+        "byte-identical), 'off' disables it "
+        "(default: run each spec as written)",
     )
 
 
@@ -223,6 +235,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the builtin stdlib HTTP bridge even if uvicorn "
         "is installed",
     )
+    serve_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="also serve a shared result cache from DIR "
+        "(GET/PUT /cache/{entry}; campaign runners point --cache-dir "
+        "at the service URL to share results across machines)",
+    )
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="export/import a result cache as a portable bundle",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for name, blurb in (
+        ("export", "pack a cache directory into a .tar.gz bundle"),
+        ("import", "merge a bundle into a cache directory"),
+    ):
+        sub_p = cache_sub.add_parser(name, help=blurb)
+        sub_p.add_argument(
+            "bundle", help="bundle path (.tar.gz with a manifest)"
+        )
+        sub_p.add_argument(
+            "--cache-dir",
+            required=True,
+            metavar="DIR",
+            help="the result cache directory to export from / import into",
+        )
+        sub_p.add_argument(
+            "--format",
+            choices=("json", "npz"),
+            default="json",
+            help="cache entry format (default json)",
+        )
 
     return parser
 
@@ -257,6 +302,7 @@ def build_runner(args: argparse.Namespace):
         cache_dir=args.cache_dir,
         batch=getattr(args, "batch", "scalar"),
         parity=getattr(args, "parity", None),
+        memo=getattr(args, "memo", None),
     )
 
 
@@ -309,7 +355,7 @@ def _serve_command(args: argparse.Namespace) -> int:
     """Serve the control plane: uvicorn when available, stdlib otherwise."""
     from repro.service import create_app
 
-    app = create_app()
+    app = create_app(cache_dir=args.cache_dir)
     if not args.no_uvicorn:
         try:
             import uvicorn
@@ -328,6 +374,26 @@ def _serve_command(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    """``cache export`` / ``cache import``: portable result bundles."""
+    from repro.campaign import ResultCache, export_cache, import_cache
+
+    cache = ResultCache(args.cache_dir, fmt=args.format)
+    if args.cache_command == "export":
+        path = export_cache(cache, args.bundle)
+        print(f"exported {len(cache)} entries to {path}")
+        return 0
+
+    report = import_cache(cache, args.bundle)
+    print(
+        f"imported {len(report.imported)}, skipped "
+        f"{len(report.skipped)} existing, rejected {len(report.rejected)}"
+    )
+    for name, reason in report.rejected:
+        print(f"  rejected {name}: {reason}", file=sys.stderr)
+    return 1 if report.rejected else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -403,6 +469,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _serve_command(args)
+
+    if args.command == "cache":
+        return _cache_command(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")
 

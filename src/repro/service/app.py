@@ -30,15 +30,29 @@ Endpoints (all JSON)::
     PATCH  /groups/{name}                  change the group total
     DELETE /groups/{name}                  drop the group
     DELETE /groups/{name}/members/{id}     member leaves; total re-split
+
+With ``cache_dir`` set, the app additionally serves a shared result
+cache (the HTTP backend of :mod:`repro.campaign.cache` — raw entry
+bytes, first-write-wins, every upload verified)::
+
+    GET    /cache                          entry listing
+    GET    /cache/{name}                   one entry's raw bytes (octet-stream)
+    PUT    /cache/{name}                   upload a verified entry
 """
 
 from __future__ import annotations
 
 import functools
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.errors import ReproError
-from repro.service.asgi import ApiError, JSONResponse, Request, Router
+from repro.service.asgi import (
+    ApiError,
+    BytesResponse,
+    JSONResponse,
+    Request,
+    Router,
+)
 from repro.service.schemas import (
     BudgetUpdate,
     FaultCreate,
@@ -69,8 +83,15 @@ def _api(handler):
     return wrapped
 
 
-def create_app(manager: SessionManager = None) -> Router:
-    """Build the control-plane ASGI application."""
+def create_app(
+    manager: SessionManager = None, cache_dir: Optional[str] = None
+) -> Router:
+    """Build the control-plane ASGI application.
+
+    ``cache_dir`` enables the shared result-cache routes, backed by a
+    content-addressed :class:`~repro.campaign.cache.ResultCache` in
+    that directory (created if needed).
+    """
     app = Router("fastcap-repro-service")
     mgr = manager if manager is not None else SessionManager()
     app.manager = mgr  # reachable from tests and the CLI
@@ -268,6 +289,63 @@ def create_app(manager: SessionManager = None) -> Router:
         return mgr.leave_group(
             request.path_params["name"], request.path_params["sid"]
         )
+
+    # -- shared result cache -------------------------------------------
+    if cache_dir is not None:
+        import os
+        import tempfile
+        from pathlib import Path
+
+        from repro.campaign.cache import ENTRY_NAME_RE, verify_entry_bytes
+
+        cache_root = Path(cache_dir)
+        cache_root.mkdir(parents=True, exist_ok=True)
+        app.cache_root = cache_root  # reachable from tests and the CLI
+
+        def _entry_path(name: str) -> Path:
+            if ENTRY_NAME_RE.match(name) is None:
+                raise ApiError(400, f"invalid cache entry name {name!r}")
+            return cache_root / name
+
+        @_api
+        async def list_cache(request: Request):
+            names = sorted(
+                p.name
+                for p in cache_root.iterdir()
+                if ENTRY_NAME_RE.match(p.name)
+            )
+            return {"entries": names, "count": len(names)}
+
+        @_api
+        async def get_cache_entry(request: Request):
+            path = _entry_path(request.path_params["name"])
+            if not path.exists():
+                raise ApiError(404, f"no cache entry {path.name}")
+            return BytesResponse(path.read_bytes())
+
+        @_api
+        async def put_cache_entry(request: Request):
+            name = request.path_params["name"]
+            path = _entry_path(name)
+            if path.exists():
+                # First write wins: entries are content-addressed, so a
+                # replay carries the same bytes and a disagreeing
+                # upload is the one that must lose.
+                return {"entry": name, "stored": False, "reason": "exists"}
+            # Raises ExperimentError (→ 400) on undecodable bytes or a
+            # stored spec whose hash contradicts the claimed name.
+            verify_entry_bytes(name, request.body)
+            fd, tmp = tempfile.mkstemp(dir=str(cache_root), prefix=".tmp-")
+            try:
+                os.write(fd, request.body)
+            finally:
+                os.close(fd)
+            os.replace(tmp, path)
+            return JSONResponse({"entry": name, "stored": True}, status=201)
+
+        app.get("/cache", list_cache)
+        app.get("/cache/{name}", get_cache_entry)
+        app.put("/cache/{name}", put_cache_entry)
 
     # -- wiring --------------------------------------------------------
     app.get("/health", health)

@@ -27,6 +27,7 @@ from urllib.parse import parse_qsl, unquote
 
 __all__ = [
     "ApiError",
+    "BytesResponse",
     "InProcessClient",
     "JSONResponse",
     "Request",
@@ -69,6 +70,11 @@ class Request:
         self.query = query
         self._body = body
 
+    @property
+    def body(self) -> bytes:
+        """The raw request body (binary uploads: cache entries)."""
+        return self._body
+
     def json(self) -> Dict[str, Any]:
         """The request body as a JSON object ({} when empty)."""
         if not self._body:
@@ -96,12 +102,27 @@ class Request:
 class JSONResponse:
     """Status + JSON-serializable payload."""
 
+    content_type = b"application/json"
+
     def __init__(self, payload: Any, status: int = 200) -> None:
         self.payload = payload
         self.status = int(status)
 
     def body(self) -> bytes:
         return json.dumps(self.payload, sort_keys=True).encode("utf-8")
+
+
+class BytesResponse:
+    """Status + raw bytes (binary downloads: cache entries)."""
+
+    content_type = b"application/octet-stream"
+
+    def __init__(self, payload: bytes, status: int = 200) -> None:
+        self.payload = payload
+        self.status = int(status)
+
+    def body(self) -> bytes:
+        return self.payload
 
 
 Handler = Callable[[Request], Awaitable[JSONResponse]]
@@ -133,6 +154,9 @@ class Router:
 
     def post(self, pattern: str, handler: Handler) -> None:
         self.route("POST", pattern, handler)
+
+    def put(self, pattern: str, handler: Handler) -> None:
+        self.route("PUT", pattern, handler)
 
     def patch(self, pattern: str, handler: Handler) -> None:
         self.route("PATCH", pattern, handler)
@@ -191,12 +215,12 @@ class Router:
             {
                 "type": "http.response.start",
                 "status": response.status,
-                "headers": [(b"content-type", b"application/json")],
+                "headers": [(b"content-type", response.content_type)],
             }
         )
         await send({"type": "http.response.body", "body": response.body()})
 
-    async def _dispatch(self, scope, body: bytes) -> JSONResponse:
+    async def _dispatch(self, scope, body: bytes):
         method = scope["method"].upper()
         path = scope["path"]
         handler, params, allowed = self._match(method, path)
@@ -220,7 +244,7 @@ class Router:
                 {"error": f"internal error: {type(exc).__name__}: {exc}"},
                 status=500,
             )
-        if isinstance(result, JSONResponse):
+        if isinstance(result, (JSONResponse, BytesResponse)):
             return result
         return JSONResponse(result)
 
@@ -259,9 +283,10 @@ class InProcessClient:
         method: str,
         path: str,
         json_body: Optional[Dict] = None,
+        content: Optional[bytes] = None,
     ) -> ClientResponse:
         return self._loop.run_until_complete(
-            self._call(method, path, json_body)
+            self._call(method, path, json_body, content)
         )
 
     def get(self, path: str, **kw) -> ClientResponse:
@@ -269,6 +294,14 @@ class InProcessClient:
 
     def post(self, path: str, json: Optional[Dict] = None) -> ClientResponse:
         return self.request("POST", path, json)
+
+    def put(
+        self,
+        path: str,
+        json: Optional[Dict] = None,
+        content: Optional[bytes] = None,
+    ) -> ClientResponse:
+        return self.request("PUT", path, json, content)
 
     def patch(self, path: str, json: Optional[Dict] = None) -> ClientResponse:
         return self.request("PATCH", path, json)
@@ -299,13 +332,20 @@ class InProcessClient:
 
     # -- ASGI mechanics -------------------------------------------------
     async def _call(
-        self, method: str, path: str, json_body: Optional[Dict]
+        self,
+        method: str,
+        path: str,
+        json_body: Optional[Dict],
+        content: Optional[bytes] = None,
     ) -> ClientResponse:
         if "?" in path:
             path, _, query = path.partition("?")
         else:
             query = ""
-        body = b"" if json_body is None else json.dumps(json_body).encode()
+        if content is not None:
+            body = content
+        else:
+            body = b"" if json_body is None else json.dumps(json_body).encode()
         scope = {
             "type": "http",
             "asgi": {"version": "3.0"},

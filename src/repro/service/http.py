@@ -85,11 +85,13 @@ async def read_request(
     return method.upper(), unquote(path), query.encode("latin-1"), headers, body
 
 
-def _head(status: int, length: int) -> bytes:
+def _head(
+    status: int, length: int, content_type: str = "application/json"
+) -> bytes:
     reason = _REASONS.get(status, "Unknown")
     return (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"content-type: application/json\r\n"
+        f"content-type: {content_type}\r\n"
         f"content-length: {length}\r\n"
         f"connection: close\r\n\r\n"
     ).encode("latin-1")
@@ -128,18 +130,24 @@ async def handle_connection(app, reader, writer) -> None:
             sent["body"] = True
             return {"type": "http.request", "body": body, "more_body": False}
 
-        status = {"code": 500}
+        status = {"code": 500, "type": "application/json"}
         chunks: List[bytes] = []
 
         async def send(message: Dict) -> None:
             if message["type"] == "http.response.start":
                 status["code"] = message["status"]
+                for name, value in message.get("headers", []):
+                    if name.lower() == b"content-type":
+                        status["type"] = value.decode("latin-1")
             elif message["type"] == "http.response.body":
                 chunks.append(message.get("body", b""))
 
         await app(scope, receive, send)
         payload_bytes = b"".join(chunks)
-        writer.write(_head(status["code"], len(payload_bytes)) + payload_bytes)
+        writer.write(
+            _head(status["code"], len(payload_bytes), status["type"])
+            + payload_bytes
+        )
         await writer.drain()
     finally:
         writer.close()

@@ -1,0 +1,320 @@
+"""The shareable result cache: bundles, verification, HTTP backend.
+
+Export on machine A, import on machine B, and every exported spec is
+a hit — with hostile inputs (corrupt blobs, renamed entries, foreign
+formats) rejected entry by entry rather than poisoning the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import tarfile
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignRunner,
+    HttpResultCache,
+    ResultCache,
+    RunSpec,
+    execute_spec,
+    export_cache,
+    import_cache,
+    open_result_cache,
+)
+from repro.campaign.cache import encode_entry, verify_entry_bytes
+from repro.errors import ExperimentError
+from repro.service import create_app
+from repro.service.asgi import InProcessClient
+
+from tests.golden_grid import result_content_hash
+
+
+def _spec(**overrides) -> RunSpec:
+    base = dict(
+        workload="MIX1",
+        policy="fastcap",
+        budget_fraction=0.6,
+        n_cores=4,
+        max_epochs=2,
+        instruction_quota=None,
+        seed=3,
+        record_decision_time=False,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [_spec(seed=s) for s in (1, 2, 3)]
+
+
+@pytest.fixture(scope="module")
+def results(specs):
+    return [execute_spec(s) for s in specs]
+
+
+def _warm_cache(root, specs, results, fmt="json") -> ResultCache:
+    cache = ResultCache(str(root), fmt=fmt)
+    for spec, result in zip(specs, results):
+        cache.put(spec, result)
+    return cache
+
+
+class TestEntryVerification:
+    def test_accepts_genuine_entry(self, specs, results):
+        blob = encode_entry(specs[0], results[0], "json")
+        verify_entry_bytes(f"{specs[0].spec_hash()}.json", blob)
+
+    def test_rejects_bad_name(self, specs, results):
+        blob = encode_entry(specs[0], results[0], "json")
+        with pytest.raises(ExperimentError):
+            verify_entry_bytes("../escape.json", blob)
+
+    def test_rejects_corrupt_bytes(self, specs):
+        with pytest.raises(ExperimentError):
+            verify_entry_bytes(f"{specs[0].spec_hash()}.json", b"not json")
+
+    def test_rejects_renamed_entry(self, specs, results):
+        """An entry filed under another spec's hash is a lie."""
+        blob = encode_entry(specs[0], results[0], "json")
+        with pytest.raises(ExperimentError):
+            verify_entry_bytes(f"{specs[1].spec_hash()}.json", blob)
+
+
+class TestBundleRoundTrip:
+    @pytest.mark.parametrize("fmt", ["json", "npz"])
+    def test_export_import_yields_hits_for_all_specs(
+        self, tmp_path, specs, results, fmt
+    ):
+        cache_a = _warm_cache(tmp_path / "a", specs, results, fmt)
+        bundle = export_cache(cache_a, tmp_path / "bundle.tar.gz")
+        cache_b = ResultCache(str(tmp_path / "b"), fmt=fmt)
+        report = import_cache(cache_b, bundle)
+        assert len(report.imported) == len(specs)
+        assert not report.rejected
+        for spec, result in zip(specs, results):
+            restored = cache_b.get(spec)
+            assert restored is not None
+            assert result_content_hash(restored) == result_content_hash(
+                result
+            )
+
+    def test_export_subset_by_spec(self, tmp_path, specs, results):
+        cache = _warm_cache(tmp_path / "a", specs, results)
+        bundle = export_cache(
+            cache, tmp_path / "subset.tar.gz", specs=specs[:1]
+        )
+        target = ResultCache(str(tmp_path / "b"))
+        report = import_cache(target, bundle)
+        assert len(report.imported) == 1
+        assert target.get(specs[0]) is not None
+        assert target.get(specs[1]) is None
+
+    def test_export_missing_spec_fails(self, tmp_path, specs, results):
+        cache = _warm_cache(tmp_path / "a", specs[:1], results[:1])
+        with pytest.raises(ExperimentError):
+            export_cache(cache, tmp_path / "x.tar.gz", specs=specs)
+
+    def test_partial_import_merges(self, tmp_path, specs, results):
+        """Entries already present are skipped, new ones land, and
+        existing bytes win over the bundle's copy."""
+        cache_a = _warm_cache(tmp_path / "a", specs, results)
+        bundle = export_cache(cache_a, tmp_path / "bundle.tar.gz")
+        cache_b = _warm_cache(tmp_path / "b", specs[:1], results[:1])
+        marker = cache_b.path_for(specs[0]).read_bytes()
+        report = import_cache(cache_b, bundle)
+        assert len(report.imported) == len(specs) - 1
+        assert len(report.skipped) == 1
+        assert cache_b.path_for(specs[0]).read_bytes() == marker
+        for spec in specs:
+            assert cache_b.get(spec) is not None
+
+    def test_corrupt_entry_rejected_others_land(
+        self, tmp_path, specs, results
+    ):
+        cache_a = _warm_cache(tmp_path / "a", specs, results)
+        bundle = export_cache(cache_a, tmp_path / "bundle.tar.gz")
+        # Flip bytes of one entry inside the tarball, fixing up its
+        # manifest hash so only content verification can catch it.
+        poisoned = tmp_path / "poisoned.tar.gz"
+        victim = f"{specs[0].spec_hash()}.json"
+        with tarfile.open(bundle, "r:gz") as src, tarfile.open(
+            poisoned, "w:gz"
+        ) as dst:
+            manifest = json.loads(
+                src.extractfile("manifest.json").read().decode()
+            )
+            for entry in manifest["entries"]:
+                if entry["name"] == victim:
+                    entry["sha256"] = hashlib.sha256(b"garbage").hexdigest()
+                    entry["size"] = len(b"garbage")
+            blob = json.dumps(manifest).encode()
+            info = tarfile.TarInfo("manifest.json")
+            info.size = len(blob)
+            dst.addfile(info, io.BytesIO(blob))
+            for member in src.getmembers():
+                if member.name == "manifest.json":
+                    continue
+                data = src.extractfile(member).read()
+                if member.name.endswith(victim):
+                    data = b"garbage"
+                info = tarfile.TarInfo(member.name)
+                info.size = len(data)
+                dst.addfile(info, io.BytesIO(data))
+        target = ResultCache(str(tmp_path / "b"))
+        report = import_cache(target, poisoned)
+        assert len(report.imported) == len(specs) - 1
+        assert [name for name, _ in report.rejected] == [victim]
+        assert target.get(specs[0]) is None
+        assert target.get(specs[1]) is not None
+
+    def test_tampered_entry_fails_manifest_hash(
+        self, tmp_path, specs, results
+    ):
+        """Bytes that disagree with the manifest digest are rejected."""
+        cache_a = _warm_cache(tmp_path / "a", specs[:1], results[:1])
+        bundle = export_cache(cache_a, tmp_path / "bundle.tar.gz")
+        victim = f"{specs[0].spec_hash()}.json"
+        tampered = tmp_path / "tampered.tar.gz"
+        with tarfile.open(bundle, "r:gz") as src, tarfile.open(
+            tampered, "w:gz"
+        ) as dst:
+            for member in src.getmembers():
+                data = src.extractfile(member).read()
+                if member.name.endswith(victim):
+                    data = data[:40] + b"X" + data[41:]
+                info = tarfile.TarInfo(member.name)
+                info.size = len(data)
+                dst.addfile(info, io.BytesIO(data))
+        target = ResultCache(str(tmp_path / "b"))
+        report = import_cache(target, tampered)
+        assert not report.imported
+        assert len(report.rejected) == 1
+        assert "sha256" in report.rejected[0][1]
+
+    def test_format_mismatch_rejected_up_front(
+        self, tmp_path, specs, results
+    ):
+        """A .npz bundle cannot merge into a .json cache."""
+        cache_a = _warm_cache(tmp_path / "a", specs[:1], results[:1], "npz")
+        bundle = export_cache(cache_a, tmp_path / "bundle.tar.gz")
+        target = ResultCache(str(tmp_path / "b"), fmt="json")
+        with pytest.raises(ExperimentError):
+            import_cache(target, bundle)
+        assert target.get(specs[0]) is None
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.tar.gz"
+        with tarfile.open(bogus, "w:gz") as tar:
+            info = tarfile.TarInfo("readme.txt")
+            info.size = 2
+            tar.addfile(info, io.BytesIO(b"hi"))
+        with pytest.raises(ExperimentError):
+            import_cache(ResultCache(str(tmp_path / "b")), bogus)
+
+
+def _client_transport(client):
+    """Bridge HttpResultCache onto an in-process ASGI client."""
+
+    def transport(method, url, data=None, timeout=30.0):
+        path = "/" + url.split("://", 1)[1].split("/", 1)[1]
+        if method == "GET":
+            response = client.get(path)
+        elif method == "PUT":
+            response = client.put(path, content=data)
+        else:  # pragma: no cover - no other verbs are issued
+            raise AssertionError(method)
+        return response.status_code, response.content
+
+    return transport
+
+
+@pytest.fixture()
+def cache_service(tmp_path):
+    app = create_app(cache_dir=str(tmp_path / "srv"))
+    with InProcessClient(app) as client:
+        yield client
+
+
+class TestHttpCacheBackend:
+    def test_url_locations_resolve_to_http_backend(self):
+        assert isinstance(
+            open_result_cache("http://localhost:1/x"), HttpResultCache
+        )
+        assert isinstance(
+            open_result_cache("https://host/cache"), HttpResultCache
+        )
+
+    def test_directory_locations_resolve_to_disk(self, tmp_path):
+        assert isinstance(
+            open_result_cache(str(tmp_path)), ResultCache
+        )
+
+    def test_put_get_round_trip(self, cache_service, specs, results):
+        cache = HttpResultCache(
+            "http://srv", transport=_client_transport(cache_service)
+        )
+        spec, result = specs[0], results[0]
+        assert spec not in cache
+        assert cache.get(spec) is None
+        cache.put(spec, result)
+        assert spec in cache
+        restored = cache.get(spec)
+        assert result_content_hash(restored) == result_content_hash(result)
+
+    def test_replayed_put_is_idempotent(self, cache_service, specs, results):
+        cache = HttpResultCache(
+            "http://srv", transport=_client_transport(cache_service)
+        )
+        cache.put(specs[0], results[0])
+        cache.put(specs[0], results[0])
+        assert cache.get(specs[0]) is not None
+
+    def test_unreachable_server_degrades_to_miss(self, specs):
+        cache = HttpResultCache(
+            "http://srv", transport=lambda *a, **k: (599, b"")
+        )
+        assert specs[0] not in cache
+        assert cache.get(specs[0]) is None
+
+    def test_server_rejection_raises(self, specs, results):
+        cache = HttpResultCache(
+            "http://srv", transport=lambda *a, **k: (400, b'{"error":"no"}')
+        )
+        with pytest.raises(ExperimentError):
+            cache.put(specs[0], results[0])
+
+    def test_flaky_write_is_non_fatal(self, specs, results):
+        cache = HttpResultCache(
+            "http://srv", transport=lambda *a, **k: (503, b"")
+        )
+        cache.put(specs[0], results[0])  # warns, does not raise
+
+    def test_runner_shares_results_through_service(
+        self, cache_service, monkeypatch
+    ):
+        """The e2e shape of the satellite: runner A populates the
+        service, runner B gets pure cache hits."""
+        transport = _client_transport(cache_service)
+        monkeypatch.setattr(
+            "repro.campaign.cache._default_transport", transport
+        )
+        campaign = Campaign("shared", [_spec(seed=s) for s in (11, 12)])
+        writer = CampaignRunner(cache_dir="http://srv:0")
+        writer.run_campaign(campaign)
+        assert writer.runs_executed == len(campaign)
+        reader = CampaignRunner(cache_dir="http://srv:0")
+        reader.run_campaign(campaign)
+        assert reader.runs_executed == 0
+        assert reader.cache_hits == len(campaign)
+
+    def test_server_rejects_mislabeled_upload(self, cache_service, specs, results):
+        blob = encode_entry(specs[0], results[0], "json")
+        wrong = f"{specs[1].spec_hash()}.json"
+        response = cache_service.put(f"/cache/{wrong}", content=blob)
+        assert response.status_code == 400

@@ -44,14 +44,19 @@ class TestFleetCampaign:
                 scalar.baseline(spec)
             ) == result_content_hash(fleet.baseline(spec))
 
-    def test_fleet_width_chunks_groups(self):
+    def test_fleet_width_backfills_wide_groups(self):
+        """A group wider than fleet_width stays ONE unit — the fleet
+        runs ``fleet_width`` lanes and backfills from its pending
+        queue — and the results remain byte-identical to scalar."""
         campaign = _campaign()
         runner = CampaignRunner(batch="fleet", fleet_width=2)
         misses = [(i, spec) for i, spec in enumerate(campaign.specs)]
         units = runner._fleet_units(misses)
-        assert all(len(unit) <= 2 for unit in units)
         assert sum(len(unit) for unit in units) == len(campaign)
+        assert any(len(unit) > 2 for unit in units)
         results = runner.run_campaign(campaign)
+        assert runner.fleet_backfills > 0
+        assert 0.0 < runner.fleet_occupancy <= 1.0
         scalar = CampaignRunner().run_campaign(campaign)
         for spec in campaign:
             assert result_content_hash(results[spec]) == result_content_hash(

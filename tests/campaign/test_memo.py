@@ -1,0 +1,379 @@
+"""Operating-point memoization: spec plumbing, cache behaviour, parity.
+
+The memo is a perf feature with a correctness contract: serving a
+cached operating point must be numerically invisible in the exact tier
+(the golden-grid memo lane in :mod:`tests.test_golden_parity` pins the
+byte-identity; this module covers the machinery around it) and its
+bookkeeping must never leak into serialized results or cache entries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import Campaign, CampaignRunner, RunSpec
+from repro.campaign.cache import encode_entry
+from repro.campaign.runner import execute_spec
+from repro.errors import ConfigurationError
+from repro.sim.config import table2_config
+from repro.sim.results_io import run_result_to_dict
+from repro.sim.server import (
+    _MEMO_WARMUP_OPS,
+    ServerSimulator,
+    OpMemo,
+)
+from repro.workloads import get_workload
+
+from tests.golden_grid import result_content_hash
+
+
+def _spec(**overrides) -> RunSpec:
+    base = dict(
+        workload="ILP1",
+        policy="fastcap",
+        budget_fraction=0.6,
+        n_cores=4,
+        max_epochs=3,
+        instruction_quota=None,
+        seed=3,
+        record_decision_time=False,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestMemoSpec:
+    def test_default_off_and_omitted_from_json(self):
+        spec = _spec()
+        assert spec.memo == "off"
+        assert "memo" not in spec.to_dict()
+
+    def test_op_mode_serializes_and_round_trips(self):
+        spec = _spec(memo="op")
+        data = spec.to_dict()
+        assert data["memo"] == "op"
+        assert RunSpec.from_dict(data) == spec
+
+    def test_memo_changes_spec_hash(self):
+        assert _spec().spec_hash() != _spec(memo="op").spec_hash()
+
+    def test_off_hash_matches_pre_memo_hash(self):
+        """``memo="off"`` is omitted from the canonical JSON, so every
+        existing cache entry and golden-fixture key stays valid."""
+        spec = _spec()
+        stripped = {
+            k: v for k, v in spec.to_dict().items() if k != "memo"
+        }
+        assert spec.to_dict() == stripped
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(memo="always")
+
+    def test_eventsim_memo_rejected_at_spec_level(self):
+        with pytest.raises(ConfigurationError):
+            _spec(engine="eventsim", memo="op")
+
+
+class TestMemoSimulator:
+    def test_unknown_mode_rejected(self):
+        config = table2_config(4)
+        with pytest.raises(ConfigurationError):
+            ServerSimulator(config, get_workload("ILP1"), memo="nope")
+
+    def test_eventsim_memo_rejected(self):
+        config = table2_config(4)
+        with pytest.raises(ConfigurationError):
+            ServerSimulator(
+                config, get_workload("ILP1"), engine="eventsim", memo="op"
+            )
+
+    def test_memo_bypassed_under_service_scales(self):
+        """Fault/phase scaling mutates the network the memo key cannot
+        see — the memo must go dormant while any scale is active."""
+        config = table2_config(4)
+        sim = ServerSimulator(config, get_workload("ILP1"), memo="op")
+        assert sim._memo_live()
+        sim._think_scale = 1.2
+        assert not sim._memo_live()
+        sim._think_scale = None
+        assert sim._memo_live()
+        sim._mem_power_scale = 0.9
+        assert not sim._memo_live()
+
+    def test_memo_off_has_no_cache(self):
+        config = table2_config(4)
+        sim = ServerSimulator(config, get_workload("ILP1"))
+        assert sim._op_memo is None
+        assert not sim._memo_live()
+
+
+class TestOpMemoStore:
+    def _op(self, tag: float):
+        # Any distinguishable object works; the memo never inspects it.
+        return ("op", tag)
+
+    def test_radius_match_serves_nearby_estimates(self):
+        memo = OpMemo(tolerance=0.02)
+        ips = np.array([1e9, 2e9])
+        memo.store(("k",), ips, self._op(1.0))
+        assert memo.lookup(("k",), ips * 1.01) == self._op(1.0)
+        assert memo.lookup(("k",), ips * 1.05) is None
+        assert memo.lookup(("other",), ips) is None
+
+    def test_lru_evicts_oldest_key(self):
+        memo = OpMemo(max_keys=2)
+        ips = np.array([1e9])
+        memo.store(("a",), ips, self._op(1.0))
+        memo.store(("b",), ips, self._op(2.0))
+        # Touch "a" so "b" becomes the eviction candidate.
+        assert memo.lookup(("a",), ips) is not None
+        memo.store(("c",), ips, self._op(3.0))
+        assert memo.lookup(("b",), ips) is None
+        assert memo.lookup(("a",), ips) is not None
+        assert memo.lookup(("c",), ips) is not None
+
+    def test_per_key_bucket_is_bounded(self):
+        memo = OpMemo()
+        for i in range(memo._PER_KEY + 8):
+            # Estimates 3x apart never radius-match each other.
+            memo.store(("k",), np.array([3.0**i]), self._op(float(i)))
+        assert len(memo._entries[("k",)]) == memo._PER_KEY
+
+
+class TestMemoRuns:
+    def test_long_run_hits_and_reports_stats(self):
+        result = execute_spec(_spec(max_epochs=60, memo="op"))
+        stats = result.stats
+        assert stats["op_memo_enabled"] == 1.0
+        assert stats["op_memo_hits"] > 0
+        assert stats["op_memo_hits"] <= stats["op_solves"]
+        assert 0.0 < stats["op_memo_hit_rate"] < 1.0
+
+    def test_warmup_window_never_serves(self):
+        """Runs that finish inside the warm-up window (2 ops/epoch)
+        perform zero lookups — byte-identity holds by construction."""
+        epochs = _MEMO_WARMUP_OPS // 2
+        result = execute_spec(_spec(max_epochs=epochs, memo="op"))
+        assert result.stats["op_memo_enabled"] == 1.0
+        assert result.stats["op_memo_hits"] == 0.0
+
+    def test_memo_off_reports_no_memo_stats(self):
+        result = execute_spec(_spec())
+        assert "op_memo_enabled" not in result.stats
+
+    def test_memoized_run_is_deterministic(self):
+        a = execute_spec(_spec(max_epochs=60, memo="op"))
+        b = execute_spec(_spec(max_epochs=60, memo="op"))
+        assert result_content_hash(a) == result_content_hash(b)
+
+    def test_long_memoized_run_stays_close_to_exact(self):
+        """Past the warm-up window served points may drift within the
+        2% ips radius; run-level power must stay in a tight envelope."""
+        exact = execute_spec(_spec(max_epochs=60))
+        memo = execute_spec(_spec(max_epochs=60, memo="op"))
+        assert len(exact.epochs) == len(memo.epochs)
+        np.testing.assert_allclose(
+            memo.mean_power_w(), exact.mean_power_w(), rtol=1e-4
+        )
+        np.testing.assert_allclose(
+            np.asarray(memo.instructions),
+            np.asarray(exact.instructions),
+            rtol=1e-4,
+        )
+
+
+class TestMemoRunner:
+    def test_runner_memo_override_rewrites_specs(self):
+        runner = CampaignRunner(memo="op")
+        assert runner.scaled(_spec()).memo == "op"
+        off = CampaignRunner(memo="off")
+        assert off.scaled(_spec(memo="op")).memo == "off"
+        asis = CampaignRunner()
+        assert asis.scaled(_spec(memo="op")).memo == "op"
+
+    def test_runner_memo_override_skips_eventsim_specs(self):
+        """The override must not push memo onto engines that reject it."""
+        runner = CampaignRunner(memo="op")
+        spec = _spec(engine="eventsim", max_epochs=2)
+        assert runner.scaled(spec).memo == "off"
+
+    def test_unknown_memo_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(memo="always")
+
+    def test_memoized_campaign_byte_identical_inside_warmup(self):
+        campaign = Campaign(
+            "memo",
+            [
+                _spec(workload=w, policy=p)
+                for w in ("ILP1", "MIX1")
+                for p in ("fastcap", "cpu-only")
+            ],
+        )
+        plain = CampaignRunner().run_campaign(campaign)
+        memo = CampaignRunner(memo="op").run_campaign(campaign)
+        for spec in campaign:
+            assert result_content_hash(plain[spec]) == result_content_hash(
+                memo[spec]
+            )
+
+    def test_memo_and_fleet_compose(self):
+        campaign = Campaign(
+            "memo-fleet",
+            [
+                _spec(workload=w, policy=p)
+                for w in ("ILP1", "MIX1", "MEM2")
+                for p in ("fastcap", "cpu-only")
+            ],
+        )
+        runner = CampaignRunner(memo="op", batch="fleet", fleet_width=2)
+        fleet = runner.run_campaign(campaign)
+        assert runner.fleet_runs > 0
+        scalar = CampaignRunner().run_campaign(campaign)
+        for spec in campaign:
+            assert result_content_hash(fleet[spec]) == result_content_hash(
+                scalar[spec]
+            )
+
+    def test_memo_specs_cache_under_their_own_hash(self, tmp_path):
+        """memo="op" is part of the cache key (like parity): a warm
+        memo-off cache must not serve a memo-on campaign or vice versa."""
+        spec = _spec()
+        campaign = Campaign("one", [spec])
+        CampaignRunner(cache_dir=str(tmp_path)).run_campaign(campaign)
+        memo_runner = CampaignRunner(cache_dir=str(tmp_path), memo="op")
+        memo_runner.run_campaign(campaign)
+        assert memo_runner.cache_hits == 0
+        assert memo_runner.runs_executed == 1
+        replay = CampaignRunner(cache_dir=str(tmp_path), memo="op")
+        replay.run_campaign(campaign)
+        assert replay.cache_hits == 1
+
+
+class TestSharedMemo:
+    """One :class:`OpMemo` serving many simulators and repeated runs."""
+
+    def test_warm_replay_hits_every_post_warmup_op(self):
+        """A rerun against a memo warmed by the identical spec is a
+        deterministic replay: every op past the warm-up window hits,
+        and the result is byte-identical to the cold run."""
+        memo = OpMemo()
+        spec = _spec(max_epochs=60, memo="op")
+        cold = execute_spec(spec, op_memo=memo)
+        warm = execute_spec(spec, op_memo=memo)
+        assert warm.stats["op_solves"] == cold.stats["op_solves"]
+        assert (
+            warm.stats["op_memo_hits"]
+            == warm.stats["op_solves"] - _MEMO_WARMUP_OPS
+        )
+        assert warm.stats["op_memo_hits"] > cold.stats["op_memo_hits"]
+        assert result_content_hash(warm) == result_content_hash(cold)
+
+    def test_token_isolates_configs_and_workloads(self):
+        """Sims with different configs or routing must never serve each
+        other's entries, even from one shared store."""
+        memo = OpMemo()
+        sims = [
+            ServerSimulator(
+                table2_config(cores), get_workload(w), memo="op", op_memo=memo
+            )
+            for cores, w in ((4, "ILP1"), (16, "ILP1"), (4, "MEM1"))
+        ]
+        tokens = {sim._memo_token for sim in sims}
+        assert len(tokens) == len(sims)
+        # Same config + same workload → same token (sharing works).
+        twin = ServerSimulator(
+            table2_config(4), get_workload("ILP1"), memo="op", op_memo=memo
+        )
+        assert twin._memo_token == sims[0]._memo_token
+
+    def test_noise_override_changes_token(self):
+        """Noise parameters live in the config repr, so a noisy spec
+        cannot be served from a noiseless spec's entries."""
+        from repro.campaign.runner import config_for_spec
+
+        a = config_for_spec(_spec(memo="op"))
+        b = config_for_spec(_spec(memo="op", counter_noise=0.05))
+        sim_a = ServerSimulator(a, get_workload("ILP1"), memo="op")
+        sim_b = ServerSimulator(b, get_workload("ILP1"), memo="op")
+        assert sim_a._memo_token != sim_b._memo_token
+
+    def test_runner_shares_memo_across_specs(self):
+        """The runner hands one store to every sim it builds: a second
+        seed of the same workload/policy hits entries the first seed
+        stored (cross-sim sharing, not just cross-run)."""
+        campaign = Campaign(
+            "shared", [_spec(max_epochs=40, seed=s) for s in (1, 2)]
+        )
+        runner = CampaignRunner(memo="op")
+        runner.run_campaign(campaign)
+        assert runner.op_memo is not None
+        solo = CampaignRunner(memo="op")
+        solo.run_campaign(Campaign("solo", [_spec(max_epochs=40, seed=2)]))
+        # seed=2 alone hits strictly less than seed=2 after seed=1
+        # warmed the shared store.
+        assert runner.op_memo_hits > solo.op_memo_hits
+
+    def test_warm_runner_rerun_is_byte_identical(self):
+        """The bench's acceptance shape: a fresh runner adopting a
+        warm memo reruns the campaign with near-total hits and
+        byte-identical results."""
+        campaign = Campaign(
+            "warm", [_spec(max_epochs=40, policy=p) for p in ("fastcap", "cpu-only")]
+        )
+        first = CampaignRunner(memo="op")
+        cold = first.run_campaign(campaign)
+        second = CampaignRunner(memo="op", op_memo=first.op_memo)
+        warm = second.run_campaign(campaign)
+        assert second.runs_executed == len(campaign)  # real reruns
+        assert second.op_memo_hits > first.op_memo_hits
+        per_run_post_warmup = 2 * 40 - _MEMO_WARMUP_OPS
+        assert (
+            second.op_memo_hits == len(campaign) * per_run_post_warmup
+        )
+        for spec in campaign:
+            assert result_content_hash(cold[spec]) == result_content_hash(
+                warm[spec]
+            )
+
+
+#: Bookkeeping vocabulary that must never appear in persisted bytes.
+_STAT_MARKERS = (b"op_memo", b"op_solves", b"fleet_")
+
+
+class TestStatsNeverLeak:
+    """Regression (PR9 satellite): run stats are process-local
+    diagnostics — they never enter serialized results, cache entries,
+    or content hashes, in either parity tier."""
+
+    @pytest.mark.parametrize("parity", ["exact", "relaxed"])
+    def test_serialized_result_carries_no_stats(self, parity):
+        result = execute_spec(
+            _spec(max_epochs=30, memo="op", parity=parity)
+        )
+        assert result.stats  # the in-memory result does have them
+        data = run_result_to_dict(result)
+        assert "stats" not in data
+        payload = json.dumps(data, sort_keys=True).encode()
+        for marker in _STAT_MARKERS:
+            assert marker not in payload
+
+    @pytest.mark.parametrize("fmt", ["json", "npz"])
+    def test_cache_entry_bytes_carry_no_stats(self, fmt):
+        spec = _spec(max_epochs=30, memo="op")
+        result = execute_spec(spec)
+        blob = encode_entry(spec, result, fmt)
+        if fmt == "json":
+            for marker in _STAT_MARKERS:
+                assert marker not in blob
+
+    def test_content_hash_blind_to_stats(self):
+        result = execute_spec(_spec(max_epochs=30, memo="op"))
+        before = result_content_hash(result)
+        result.stats["op_memo_hits"] = 1e9
+        result.stats["fleet_occupancy"] = 0.0
+        assert result_content_hash(result) == before

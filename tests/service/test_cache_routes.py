@@ -1,0 +1,106 @@
+"""The service's shared result-cache routes (GET/PUT /cache/...)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.campaign import RunSpec, execute_spec
+from repro.campaign.cache import encode_entry
+from repro.service import create_app
+from repro.service.asgi import InProcessClient
+from repro.service.http import handle_connection
+
+from tests.service.test_http_bridge import FakeWriter, feed, run
+
+SPEC = RunSpec(
+    workload="MIX1",
+    policy="fastcap",
+    budget_fraction=0.6,
+    n_cores=4,
+    max_epochs=2,
+    instruction_quota=None,
+    seed=3,
+    record_decision_time=False,
+)
+
+
+@pytest.fixture(scope="module")
+def entry():
+    result = execute_spec(SPEC)
+    return f"{SPEC.spec_hash()}.json", encode_entry(SPEC, result, "json")
+
+
+@pytest.fixture()
+def client(tmp_path):
+    app = create_app(cache_dir=str(tmp_path / "cache"))
+    with InProcessClient(app) as c:
+        yield c
+
+
+class TestCacheRoutes:
+    def test_routes_absent_without_cache_dir(self):
+        with InProcessClient(create_app()) as client:
+            assert client.get("/cache").status_code == 404
+
+    def test_empty_listing(self, client):
+        payload = client.get("/cache").json()
+        assert payload == {"count": 0, "entries": []}
+
+    def test_put_get_listing_cycle(self, client, entry):
+        name, blob = entry
+        response = client.put(f"/cache/{name}", content=blob)
+        assert response.status_code == 201
+        assert response.json() == {"entry": name, "stored": True}
+        got = client.get(f"/cache/{name}")
+        assert got.status_code == 200
+        assert got.content == blob
+        assert client.get("/cache").json()["entries"] == [name]
+
+    def test_replay_put_keeps_first_write(self, client, entry):
+        name, blob = entry
+        client.put(f"/cache/{name}", content=blob)
+        response = client.put(f"/cache/{name}", content=blob)
+        assert response.status_code == 200
+        assert response.json()["stored"] is False
+
+    def test_invalid_names_rejected(self, client, entry):
+        _, blob = entry
+        for name in ("..%2Fescape.json", "UPPER0123456789AB.json", "x.txt"):
+            assert client.put(f"/cache/{name}", content=blob).status_code == 400
+            assert client.get(f"/cache/{name}").status_code == 400
+
+    def test_missing_entry_404(self, client):
+        assert client.get("/cache/" + "0" * 16 + ".json").status_code == 404
+
+    def test_corrupt_upload_rejected(self, client, entry):
+        name, _ = entry
+        response = client.put(f"/cache/{name}", content=b"junk")
+        assert response.status_code == 400
+        assert client.get(f"/cache/{name}").status_code == 404
+
+
+class TestBridgeServesBinaryEntries:
+    def test_octet_stream_round_trip(self, tmp_path, entry):
+        """The stdlib bridge must label cache bytes as octet-stream
+        and return them unmangled."""
+        name, blob = entry
+        app = create_app(cache_dir=str(tmp_path / "cache"))
+
+        async def exchange(raw: bytes) -> bytes:
+            writer = FakeWriter()
+            await handle_connection(app, feed(raw), writer)
+            return writer.buffer
+
+        put = (
+            f"PUT /cache/{name} HTTP/1.1\r\n"
+            f"content-length: {len(blob)}\r\n\r\n"
+        ).encode() + blob
+        response = run(exchange(put))
+        assert response.startswith(b"HTTP/1.1 201")
+
+        got = run(exchange(f"GET /cache/{name} HTTP/1.1\r\n\r\n".encode()))
+        head, _, body = got.partition(b"\r\n\r\n")
+        assert b"content-type: application/octet-stream" in head
+        assert body == blob

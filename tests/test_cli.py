@@ -80,6 +80,38 @@ class TestParser:
         assert build_runner(args).parity == "relaxed"
         assert build_runner(build_parser().parse_args(["sweep"])).parity is None
 
+    def test_memo_flag(self):
+        args = build_parser().parse_args(["sweep", "--memo", "op"])
+        assert args.memo == "op"
+        # Default leaves every spec at its declared memo mode.
+        assert build_parser().parse_args(["sweep"]).memo is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--memo", "always"])
+
+    def test_memo_flag_reaches_runner(self):
+        args = build_parser().parse_args(["sweep", "--memo", "op"])
+        assert build_runner(args).memo == "op"
+        assert build_runner(build_parser().parse_args(["sweep"])).memo is None
+
+    def test_serve_cache_dir_flag(self):
+        args = build_parser().parse_args(["serve", "--cache-dir", "d"])
+        assert args.cache_dir == "d"
+        assert build_parser().parse_args(["serve"]).cache_dir is None
+
+    def test_cache_command_parses(self):
+        args = build_parser().parse_args(
+            ["cache", "export", "b.tar.gz", "--cache-dir", "d"]
+        )
+        assert (args.cache_command, args.bundle) == ("export", "b.tar.gz")
+        assert args.format == "json"
+        args = build_parser().parse_args(
+            ["cache", "import", "b.tar.gz", "--cache-dir", "d",
+             "--format", "npz"]
+        )
+        assert (args.cache_command, args.format) == ("import", "npz")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "export", "b.tar.gz"])
+
 
 class TestJobsDefault:
     """Regression for the ROADMAP follow-up: multi-spec figure commands
@@ -189,3 +221,71 @@ class TestMain:
         out = capsys.readouterr().out
         assert "campaign smoke" in out
         assert "ILP1" in out
+
+    def test_cache_export_import_round_trip(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--workloads", "ILP1",
+            "--policies", "fastcap",
+            "--budgets", "0.6",
+            "--cores", "4",
+            "--max-epochs", "3",
+            "--cache-dir", str(tmp_path / "a"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        bundle = str(tmp_path / "bundle.tar.gz")
+        assert main(
+            ["cache", "export", bundle, "--cache-dir", str(tmp_path / "a")]
+        ) == 0
+        assert "exported 1 entries" in capsys.readouterr().out
+        assert main(
+            ["cache", "import", bundle, "--cache-dir", str(tmp_path / "b")]
+        ) == 0
+        assert "imported 1" in capsys.readouterr().out
+        # The imported cache serves the same sweep without simulating.
+        argv[-1] = str(tmp_path / "b")
+        assert main(argv) == 0
+        assert "0 simulated, 1 from cache" in capsys.readouterr().out
+
+    def test_cache_import_reports_rejections(self, capsys, tmp_path):
+        import tarfile
+        import io as _io
+
+        manifest = json.dumps(
+            {
+                "format_version": 1,
+                "cache_format": "json",
+                "entries": [
+                    {"name": "not-a-hash.json", "sha256": "0" * 64, "size": 2}
+                ],
+            }
+        ).encode()
+        bundle = tmp_path / "bad.tar.gz"
+        with tarfile.open(bundle, "w:gz") as tar:
+            info = tarfile.TarInfo("manifest.json")
+            info.size = len(manifest)
+            tar.addfile(info, _io.BytesIO(manifest))
+            info = tarfile.TarInfo("entries/not-a-hash.json")
+            info.size = 2
+            tar.addfile(info, _io.BytesIO(b"{}"))
+        rc = main(
+            ["cache", "import", str(bundle), "--cache-dir", str(tmp_path / "c")]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "rejected 1" in captured.out
+        assert "not-a-hash.json" in captured.err
+
+    def test_memo_sweep_runs(self, capsys):
+        argv = [
+            "sweep",
+            "--workloads", "ILP1",
+            "--policies", "fastcap",
+            "--budgets", "0.6",
+            "--cores", "4",
+            "--max-epochs", "3",
+            "--memo", "op",
+        ]
+        assert main(argv) == 0
+        assert "1 simulated" in capsys.readouterr().out

@@ -218,6 +218,25 @@ class TestGoldenGridHashes:
                 mismatched.append((spec.policy, spec.workload, spec.budget_fraction))
         assert not mismatched, f"content hashes drifted: {mismatched}"
 
+    def test_memoized_runs_byte_identical_to_seed_fixture(self):
+        """The memo lane of the gate: every golden spec re-run with
+        ``memo="op"`` reproduces the PR2 fixture hashes byte for byte.
+        A cached operating point may only be served when doing so is
+        numerically invisible — this is the gate that enforces it."""
+        from tests.golden_grid import run_grid_memo
+
+        fixture_path = pathlib.Path(__file__).parent / GOLDEN_FIXTURE
+        fixture = json.loads(fixture_path.read_text())
+        hashes = run_grid_memo()
+        assert len(hashes) == len(fixture)
+        mismatched = [
+            key for key, value in hashes.items() if fixture.get(key) != value
+        ]
+        assert not mismatched, (
+            f"memo content hashes drifted on {len(mismatched)} specs: "
+            f"{mismatched[:3]}"
+        )
+
     def test_fleet_campaign_byte_identical_to_seed_fixture(self):
         """The fleet lane of the gate: ``run_campaign(batch="fleet")``
         over the same 61-run grid — lockstep batched solves, per-lane

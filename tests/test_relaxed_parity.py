@@ -97,6 +97,19 @@ class TestRelaxedGrid:
             exact = execute_spec(spec)
             _assert_run_parity(exact, results[spec], spec.to_json())
 
+    def test_memoized_relaxed_runs_stay_in_envelope(self):
+        """The memo lane of the relaxed tier: ``parity="relaxed"`` +
+        ``memo="op"`` must agree with the exact tier at run level over
+        a grid subset — memoization may not widen the envelope."""
+        from repro.campaign.runner import execute_spec
+
+        for spec in golden_specs()[::5]:
+            exact = execute_spec(spec)
+            relaxed = execute_spec(
+                spec.replace(parity="relaxed", memo="op")
+            )
+            _assert_run_parity(exact, relaxed, spec.to_json())
+
     def test_runner_parity_override_rewrites_specs(self):
         runner = CampaignRunner(parity="relaxed")
         spec = golden_specs()[0]
